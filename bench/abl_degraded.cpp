@@ -1,0 +1,84 @@
+// Ablation: failure injection / degraded fabric.  Cut one of the two
+// uplink bundles of every leaf switch (the blocking ratio worsens from 5:1
+// to 10:1) and re-run the Fig 3 headline cells.  Topology awareness matters
+// *more* on a sicker network — the congestion the reorder avoids is larger.
+
+#include <cstdio>
+
+#include "bench/sweep.hpp"
+#include "common/table.hpp"
+#include "core/topoallgather.hpp"
+#include "simmpi/layout.hpp"
+#include "topology/fattree.hpp"
+
+namespace {
+
+using namespace tarr;
+using namespace tarr::bench;
+
+double improvement(const topology::Machine& machine,
+                   const simmpi::LayoutSpec& spec, Bytes msg) {
+  core::ReorderFramework framework(machine);
+  const simmpi::Communicator comm(
+      machine,
+      simmpi::make_layout(machine, machine.total_cores(), spec));
+  core::TopoAllgatherConfig def;
+  def.mapper = core::MapperKind::None;
+  core::TopoAllgather base(framework, comm, def);
+  core::TopoAllgatherConfig heu;
+  heu.mapper = core::MapperKind::Heuristic;
+  heu.fix = collectives::OrderFix::InitComm;
+  core::TopoAllgather h(framework, comm, heu);
+  return improvement_percent(base.latency(msg), h.latency(msg));
+}
+
+}  // namespace
+
+int main() {
+  using namespace tarr::topology;
+
+  const SwitchGraph healthy = build_gpc_network(512);
+  // Fail the second uplink bundle (to core switch 1) of every leaf.
+  std::vector<LinkId> victims;
+  for (int l = 0; l < healthy.num_links(); ++l) {
+    const auto& link = healthy.link(l);
+    const bool leaf_line =
+        (healthy.vertex(link.a).kind == VertexKind::LeafSwitch &&
+         healthy.vertex(link.b).kind == VertexKind::LineSwitch) ||
+        (healthy.vertex(link.b).kind == VertexKind::LeafSwitch &&
+         healthy.vertex(link.a).kind == VertexKind::LineSwitch);
+    if (leaf_line &&
+        healthy.vertex(link.a).name.find("core1") != std::string::npos)
+      victims.push_back(l);
+    if (leaf_line &&
+        healthy.vertex(link.b).name.find("core1") != std::string::npos)
+      victims.push_back(l);
+  }
+  const SwitchGraph degraded = healthy.with_failed_links(victims);
+
+  const Machine m_healthy(NodeShape{}, healthy);
+  const Machine m_degraded(NodeShape{}, degraded);
+
+  std::printf(
+      "Ablation — degraded fabric (every leaf loses its core-switch-1\n"
+      "uplinks: blocking 5:1 -> 10:1), 4096 processes, Hrstc+initComm\n\n");
+
+  tarr::TextTable t;
+  t.set_header({"fabric", "layout", "RD 1KB impr %", "ring 64KB impr %"});
+  const simmpi::LayoutSpec block{};
+  const simmpi::LayoutSpec cyclic{simmpi::NodeOrder::Cyclic,
+                                  simmpi::SocketOrder::Bunch};
+  for (const auto* which : {"healthy", "degraded"}) {
+    const Machine& m =
+        std::string(which) == "healthy" ? m_healthy : m_degraded;
+    t.add_row({which, "block-bunch",
+               tarr::TextTable::num(improvement(m, block, 1024), 1),
+               tarr::TextTable::num(improvement(m, block, 64 * 1024), 1)});
+    t.add_row({which, "cyclic-bunch",
+               tarr::TextTable::num(improvement(m, cyclic, 1024), 1),
+               tarr::TextTable::num(improvement(m, cyclic, 64 * 1024), 1)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(%zu uplink bundles failed)\n", victims.size());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: §V-B order-preservation mechanism — extra initial
+// communications vs memory shuffling at the end — as a function of message
+// size.  The paper observes initComm generally outperforming endShfl, with
+// the shuffle especially costly around 512B-1KB under cyclic mappings and in
+// the hierarchical-linear case.
+
+#include <cstdio>
+
+#include "bench/fixtures.hpp"
+#include "bench/sweep.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace tarr;
+  using namespace tarr::bench;
+  using collectives::OrderFix;
+  using core::MapperKind;
+
+  BenchWorld world(kPaperNodes);
+  const simmpi::LayoutSpec cyclic{simmpi::NodeOrder::Cyclic,
+                                  simmpi::SocketOrder::Scatter};
+
+  core::TopoAllgatherConfig ic;
+  ic.mapper = MapperKind::Heuristic;
+  ic.fix = OrderFix::InitComm;
+  auto path_ic = world.path(kPaperProcs, cyclic, ic);
+
+  core::TopoAllgatherConfig es = ic;
+  es.fix = OrderFix::EndShuffle;
+  auto path_es = world.path(kPaperProcs, cyclic, es);
+
+  std::printf(
+      "Ablation — order-preservation mechanism, %d processes,\n"
+      "cyclic-scatter initial mapping, Hrstc reordering\n\n",
+      kPaperProcs);
+
+  TextTable t;
+  t.set_header({"msg", "initComm(us)", "endShfl(us)", "endShfl penalty %"});
+  for (Bytes msg : osu_message_sizes()) {
+    const double a = path_ic.latency(msg);
+    const double b = path_es.latency(msg);
+    t.add_row({TextTable::bytes(msg), TextTable::num(a, 1),
+               TextTable::num(b, 1),
+               TextTable::num(100.0 * (b - a) / a, 2)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: RDMH reference-core update period.  Algorithm 2 advances the
+// reference after every *two* processes mapped around it (the paper derives
+// this from the recursive-doubling stage structure); this bench compares
+// periods 1, 2 (paper), 4 and "never" on the weighted cost and on simulated
+// allgather latency across the recursive-doubling regime.
+
+#include <cstdio>
+
+#include "bench/fixtures.hpp"
+#include "bench/sweep.hpp"
+#include "collectives/allgather.hpp"
+#include "common/table.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/mapcost.hpp"
+#include "simmpi/engine.hpp"
+
+int main() {
+  using namespace tarr;
+  using namespace tarr::bench;
+
+  BenchWorld world(kPaperNodes);
+  const int p = kPaperProcs;
+  const auto& dist = world.framework.distances();
+  const auto pattern = mapping::build_pattern_graph(
+      mapping::Pattern::RecursiveDoubling, p);
+  const auto comm = world.comm(p, simmpi::LayoutSpec{});
+  const std::vector<int> initial(comm.rank_to_core().begin(),
+                                 comm.rank_to_core().end());
+
+  std::printf(
+      "Ablation — RDMH reference-core update period, %d processes,\n"
+      "block-bunch initial mapping, recursive-doubling allgather\n\n",
+      p);
+
+  TextTable t;
+  t.set_header({"period", "weighted cost", "allgather 1KB (us)",
+                "allgather 16KB (us)"});
+  for (int period : {1, 2, 4, 0}) {
+    Rng rng(1);
+    mapping::RdmhMapper mapper(period);
+    const auto result = mapper.map(initial, dist, rng);
+    const auto reordered = comm.reordered(result);
+
+    auto latency = [&](Bytes msg) {
+      simmpi::Engine eng(reordered, simmpi::CostConfig{},
+                         simmpi::ExecMode::Timed, msg, p);
+      return collectives::run_allgather(
+          eng,
+          collectives::AllgatherOptions{
+              collectives::AllgatherAlgo::RecursiveDoubling,
+              collectives::OrderFix::None});
+    };
+    t.add_row({period == 0 ? "never" : std::to_string(period),
+               TextTable::num(mapping::mapping_cost(pattern, result, dist), 0),
+               TextTable::num(latency(1024), 1),
+               TextTable::num(latency(16 * 1024), 1)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("(period 2 is Algorithm 2 as published)\n");
+  return 0;
+}

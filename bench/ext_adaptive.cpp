@@ -1,0 +1,51 @@
+// Extension bench (§VII future work): the adaptive runtime component that
+// decides per message size whether to route a collective through the
+// reordered communicator.  Shown on the layout where reordering sometimes
+// helps and sometimes cannot (block-bunch): the adaptive path must track
+// the lower envelope of the two.
+
+#include <cstdio>
+
+#include "bench/fixtures.hpp"
+#include "bench/sweep.hpp"
+#include "common/table.hpp"
+#include "core/adaptive.hpp"
+
+int main() {
+  using namespace tarr;
+  using namespace tarr::bench;
+  using collectives::OrderFix;
+  using core::MapperKind;
+
+  BenchWorld world(kPaperNodes);
+  const auto sizes = osu_message_sizes(64);
+  const auto comm = world.comm(kPaperProcs, simmpi::LayoutSpec{});
+
+  core::TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::Heuristic;
+  variant.fix = OrderFix::InitComm;
+  core::AdaptiveAllgather adaptive(world.framework, comm, variant, sizes);
+
+  core::TopoAllgatherConfig def;
+  def.mapper = MapperKind::None;
+  core::TopoAllgather d(world.framework, world.comm(kPaperProcs, {}), def);
+  core::TopoAllgather v(world.framework, world.comm(kPaperProcs, {}),
+                        variant);
+
+  std::printf(
+      "Extension — adaptive reordering decision, %d processes,\n"
+      "block-bunch initial mapping\n\n",
+      kPaperProcs);
+
+  TextTable t;
+  t.set_header({"msg", "default(us)", "reordered(us)", "adaptive(us)",
+                "decision"});
+  for (Bytes msg : sizes) {
+    t.add_row({TextTable::bytes(msg), TextTable::num(d.latency(msg), 1),
+               TextTable::num(v.latency(msg), 1),
+               TextTable::num(adaptive.latency(msg), 1),
+               adaptive.use_reordered(msg) ? "reordered" : "default"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension bench: how do the improvements scale with process count?  The
+// paper reports 4096 processes only; the simulator can sweep the job size
+// on the same machine model (512/1024/2048/4096 processes on GPC).
+
+#include <cstdio>
+
+#include "bench/sweep.hpp"
+#include "common/table.hpp"
+#include "core/topoallgather.hpp"
+#include "simmpi/layout.hpp"
+
+int main() {
+  using namespace tarr;
+  using namespace tarr::bench;
+  using collectives::OrderFix;
+  using core::MapperKind;
+
+  std::printf(
+      "Extension — improvement vs process count (GPC machine model),\n"
+      "Hrstc+initComm over the MVAPICH-like default\n\n");
+
+  TextTable t;
+  t.set_header({"procs", "nodes", "RD 1KB impr %", "RD 16KB impr %",
+                "ring 64KB block impr %", "ring 64KB cyclic impr %"});
+  for (int nodes : {64, 128, 256, 512}) {
+    const topology::Machine machine = topology::Machine::gpc(nodes);
+    core::ReorderFramework framework(machine);
+    const int p = machine.total_cores();
+
+    auto improvement = [&](const simmpi::LayoutSpec& spec, Bytes msg) {
+      const simmpi::Communicator comm(machine,
+                                      simmpi::make_layout(machine, p, spec));
+      core::TopoAllgatherConfig def;
+      def.mapper = MapperKind::None;
+      core::TopoAllgather base(framework, comm, def);
+      core::TopoAllgatherConfig heu;
+      heu.mapper = MapperKind::Heuristic;
+      heu.fix = OrderFix::InitComm;
+      core::TopoAllgather h(framework, comm, heu);
+      return improvement_percent(base.latency(msg), h.latency(msg));
+    };
+
+    const simmpi::LayoutSpec block{};
+    const simmpi::LayoutSpec cyclic{simmpi::NodeOrder::Cyclic,
+                                    simmpi::SocketOrder::Bunch};
+    t.add_row({std::to_string(p), std::to_string(nodes),
+               TextTable::num(improvement(block, 1024), 1),
+               TextTable::num(improvement(block, 16 * 1024), 1),
+               TextTable::num(improvement(block, 64 * 1024), 1),
+               TextTable::num(improvement(cyclic, 64 * 1024), 1)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

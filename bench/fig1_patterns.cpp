@@ -1,0 +1,48 @@
+// Fig 1 regeneration: the recursive-doubling communication pattern with 8
+// processes, stage by stage (plus, beyond the paper's figure, the other
+// patterns covered by the mapping heuristics).
+
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "graph/pattern.hpp"
+
+namespace {
+
+using tarr::graph::WeightedGraph;
+
+void print_rd_stages(int p) {
+  std::printf("Fig 1 — recursive doubling pattern, %d processes\n", p);
+  int stage = 0;
+  for (int dist = 1; dist < p; dist <<= 1, ++stage) {
+    std::printf("  stage %d (exchanging %d block%s): ", stage, dist,
+                dist > 1 ? "s" : "");
+    for (int i = 0; i < p; ++i) {
+      const int peer = i ^ dist;
+      if (i < peer) std::printf("%d<->%d ", i, peer);
+    }
+    std::printf("\n");
+  }
+}
+
+void print_edges(const char* name, const WeightedGraph& g) {
+  std::printf("%s (%d vertices, %d edges):\n  ", name, g.num_vertices(),
+              g.num_edges());
+  for (const auto& e : g.edges())
+    std::printf("(%d,%d,w=%.0f) ", e.u, e.v, e.w);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_rd_stages(8);
+  std::printf("\nPattern graphs consumed by the general-purpose mappers:\n");
+  print_edges("recursive-doubling p=8",
+              tarr::graph::recursive_doubling_pattern(8));
+  print_edges("ring p=8", tarr::graph::ring_pattern(8));
+  print_edges("binomial-bcast p=8", tarr::graph::binomial_bcast_pattern(8));
+  print_edges("binomial-gather p=8", tarr::graph::binomial_gather_pattern(8));
+  print_edges("bruck p=8", tarr::graph::bruck_pattern(8));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig 7 regeneration: the two overhead components of run-time rank
+// reordering, measured in wall-clock seconds on this machine:
+//   (a) one-time physical distance extraction, for 1024/2048/4096 processes
+//       (the paper reports linear scaling, ~3.3 s at 4096 on GPC);
+//   (b) time spent by the mapping algorithm itself — the paper's fine-tuned
+//       heuristics vs the general-purpose graph mappers (Scotch-like, and
+//       additionally the Hoefler-Snir-style greedy), per pattern.
+
+#include <cstdio>
+
+#include "bench/fixtures.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/heuristics.hpp"
+#include "topology/distance.hpp"
+
+namespace {
+
+using namespace tarr;
+
+double time_mapper(const mapping::Mapper& m, const std::vector<int>& initial,
+                   const topology::DistanceMatrix& d, int reps) {
+  StatAccumulator acc;
+  for (int r = 0; r < reps; ++r) {
+    Rng rng(1 + r);
+    WallTimer t;
+    const auto result = m.map(initial, d, rng);
+    acc.add(t.seconds());
+    if (result.empty()) std::abort();  // keep the call observable
+  }
+  return acc.mean();
+}
+
+}  // namespace
+
+int main() {
+  using namespace tarr::bench;
+
+  std::printf("Fig 7(a) — one-time distance extraction overhead\n");
+  TextTable ta;
+  ta.set_header({"processes", "nodes", "extraction(s)"});
+  for (int nodes : {128, 256, 512}) {
+    const topology::Machine m = topology::Machine::gpc(nodes);
+    WallTimer t;
+    const auto d = topology::extract_distances(m);
+    ta.add_row({std::to_string(nodes * 8), std::to_string(nodes),
+                TextTable::num(t.seconds(), 3)});
+    if (d.size() != m.total_cores()) return 1;
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  std::printf("Fig 7(b) — mapping algorithm overhead (seconds, mean of 3)\n");
+  TextTable tb;
+  tb.set_header({"processes", "pattern", "heuristic", "greedy-graph",
+                 "scotch-like"});
+  for (int nodes : {128, 256, 512}) {
+    const int p = nodes * 8;
+    const topology::Machine m = topology::Machine::gpc(nodes);
+    const auto dist = topology::extract_distances(m);
+    const auto cores = simmpi::make_layout(m, p, simmpi::LayoutSpec{});
+    const std::vector<int> initial(cores.begin(), cores.end());
+
+    for (auto pattern :
+         {mapping::Pattern::RecursiveDoubling, mapping::Pattern::Ring}) {
+      const auto heuristic = mapping::make_heuristic(pattern);
+      const auto greedy = mapping::make_greedy_graph_mapper(pattern);
+      const auto scotch = mapping::make_scotch_like_mapper(pattern);
+      tb.add_row({std::to_string(p), mapping::to_string(pattern),
+                  TextTable::num(time_mapper(*heuristic, initial, dist, 3), 4),
+                  TextTable::num(time_mapper(*greedy, initial, dist, 3), 4),
+                  TextTable::num(time_mapper(*scotch, initial, dist, 3), 4)});
+    }
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  std::printf(
+      "Note: the paper reports ~3.3 s extraction and ~4 ms heuristic mapping\n"
+      "at 4096 ranks on GPC hardware; absolute values here reflect this\n"
+      "machine, the shapes (linear extraction scaling, heuristics orders of\n"
+      "magnitude cheaper than graph mappers) are the reproduced result.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Google-benchmark micro-benchmarks of the simulation engine itself: how
+// fast the simulator evaluates each collective at various scales.  These
+// guard the tool's own performance (a 4096-process Fig 3 sweep re-prices
+// thousands of stages), not the simulated latencies.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "collectives/allgather.hpp"
+#include "collectives/hierarchical.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+
+namespace {
+
+using namespace tarr;
+
+const simmpi::Communicator& comm_for(int nodes) {
+  struct World {
+    topology::Machine machine;
+    simmpi::Communicator comm;
+    explicit World(int n)
+        : machine(topology::Machine::gpc(n)),
+          comm(machine, simmpi::make_layout(machine, machine.total_cores(),
+                                            simmpi::LayoutSpec{})) {}
+  };
+  static std::map<int, std::unique_ptr<World>> cache;
+  auto& slot = cache[nodes];
+  if (!slot) slot = std::make_unique<World>(nodes);
+  return slot->comm;
+}
+
+void BM_SimulateRecursiveDoubling(benchmark::State& state) {
+  const auto& comm = comm_for(static_cast<int>(state.range(0)));
+  const int p = comm.size();
+  for (auto _ : state) {
+    simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                       4096, p);
+    benchmark::DoNotOptimize(collectives::run_allgather(
+        eng,
+        collectives::AllgatherOptions{
+            collectives::AllgatherAlgo::RecursiveDoubling,
+            collectives::OrderFix::None}));
+  }
+  state.SetLabel(std::to_string(p) + " ranks");
+}
+BENCHMARK(BM_SimulateRecursiveDoubling)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SimulateRing(benchmark::State& state) {
+  const auto& comm = comm_for(static_cast<int>(state.range(0)));
+  const int p = comm.size();
+  for (auto _ : state) {
+    simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                       4096, p);
+    benchmark::DoNotOptimize(collectives::run_allgather(
+        eng, collectives::AllgatherOptions{collectives::AllgatherAlgo::Ring,
+                                           collectives::OrderFix::None}));
+  }
+  state.SetLabel(std::to_string(p) + " ranks");
+}
+BENCHMARK(BM_SimulateRing)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SimulateHierarchical(benchmark::State& state) {
+  const auto& comm = comm_for(static_cast<int>(state.range(0)));
+  const int p = comm.size();
+  for (auto _ : state) {
+    simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                       4096, p);
+    benchmark::DoNotOptimize(collectives::run_hier_allgather(
+        eng, collectives::HierAllgatherOptions{}));
+  }
+  state.SetLabel(std::to_string(p) + " ranks");
+}
+BENCHMARK(BM_SimulateHierarchical)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EngineStageThroughput(benchmark::State& state) {
+  // Raw cost of pricing one stage with `range` concurrent inter-node
+  // transfers.
+  const auto& comm = comm_for(64);
+  const int transfers = static_cast<int>(state.range(0));
+  simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                     65536, 1);
+  const int p = comm.size();
+  for (auto _ : state) {
+    eng.begin_stage();
+    for (int t = 0; t < transfers; ++t)
+      eng.copy(t % p, 0, (t + p / 2) % p, 0, 1);
+    benchmark::DoNotOptimize(eng.end_stage());
+  }
+  state.SetItemsProcessed(state.iterations() * transfers);
+}
+BENCHMARK(BM_EngineStageThroughput)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Google-benchmark micro-benchmarks of the mapping layer: distance
+// extraction, each fine-tuned heuristic, and the general-purpose
+// comparators, across process counts (the raw material behind Fig 7).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "mapping/comparators.hpp"
+#include "mapping/heuristics.hpp"
+#include "simmpi/layout.hpp"
+#include "topology/distance.hpp"
+
+namespace {
+
+using namespace tarr;
+
+struct MapFixture {
+  topology::Machine machine;
+  topology::DistanceMatrix dist;
+  std::vector<int> initial;
+
+  explicit MapFixture(int nodes)
+      : machine(topology::Machine::gpc(nodes)),
+        dist(topology::extract_distances(machine)) {
+    const auto cores = simmpi::make_layout(machine, machine.total_cores(),
+                                           simmpi::LayoutSpec{});
+    initial.assign(cores.begin(), cores.end());
+  }
+};
+
+MapFixture& fixture(int nodes) {
+  // One fixture per machine size, built lazily and reused across benchmarks.
+  static std::map<int, std::unique_ptr<MapFixture>> cache;
+  auto& slot = cache[nodes];
+  if (!slot) slot = std::make_unique<MapFixture>(nodes);
+  return *slot;
+}
+
+void BM_DistanceExtraction(benchmark::State& state) {
+  const topology::Machine m =
+      topology::Machine::gpc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::extract_distances(m));
+  }
+  state.SetLabel(std::to_string(m.total_cores()) + " cores");
+}
+BENCHMARK(BM_DistanceExtraction)->Arg(16)->Arg(64)->Arg(128);
+
+template <typename MakeMapper>
+void run_mapper_benchmark(benchmark::State& state, MakeMapper make) {
+  MapFixture& f = fixture(static_cast<int>(state.range(0)));
+  const auto mapper = make();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(mapper->map(f.initial, f.dist, rng));
+  }
+  state.SetLabel(std::to_string(f.initial.size()) + " ranks");
+}
+
+void BM_Rdmh(benchmark::State& state) {
+  run_mapper_benchmark(state, [] {
+    return mapping::make_heuristic(mapping::Pattern::RecursiveDoubling);
+  });
+}
+BENCHMARK(BM_Rdmh)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Rmh(benchmark::State& state) {
+  run_mapper_benchmark(
+      state, [] { return mapping::make_heuristic(mapping::Pattern::Ring); });
+}
+BENCHMARK(BM_Rmh)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Bbmh(benchmark::State& state) {
+  run_mapper_benchmark(state, [] {
+    return mapping::make_heuristic(mapping::Pattern::BinomialBcast);
+  });
+}
+BENCHMARK(BM_Bbmh)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Bgmh(benchmark::State& state) {
+  run_mapper_benchmark(state, [] {
+    return mapping::make_heuristic(mapping::Pattern::BinomialGather);
+  });
+}
+BENCHMARK(BM_Bgmh)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_GreedyGraph(benchmark::State& state) {
+  run_mapper_benchmark(state, [] {
+    return mapping::make_greedy_graph_mapper(
+        mapping::Pattern::RecursiveDoubling);
+  });
+}
+BENCHMARK(BM_GreedyGraph)->Arg(16)->Arg(64);
+
+void BM_ScotchLike(benchmark::State& state) {
+  run_mapper_benchmark(state, [] {
+    return mapping::make_scotch_like_mapper(
+        mapping::Pattern::RecursiveDoubling);
+  });
+}
+BENCHMARK(BM_ScotchLike)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

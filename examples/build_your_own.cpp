@@ -1,0 +1,99 @@
+// Build-your-own hierarchical allgather: demonstrates the substrate's
+// composability by hand-assembling the paper's three phases from public
+// pieces — communicator splitting, per-group collectives, and the order-fix
+// helpers — and cross-checking the result against the library's built-in
+// hierarchical path.
+
+#include <cstdio>
+
+#include "collectives/allgather.hpp"
+#include "collectives/gather_bcast.hpp"
+#include "collectives/hierarchical.hpp"
+#include "collectives/orderfix.hpp"
+#include "common/permutation.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+#include "simmpi/split.hpp"
+
+namespace {
+
+using namespace tarr;
+
+/// Hand-rolled hierarchical allgather over sub-communicators: gather into
+/// node leaders, allgather node chunks among leaders, broadcast down.
+/// Each phase runs in its own engine; the phases are sequential, so the
+/// total time is the sum (this is exactly what the built-in sequential
+/// path models in one engine — the cross-check below confirms it).
+Usec hand_rolled(const simmpi::Communicator& world, Bytes msg) {
+  const auto& machine = world.machine();
+  const int p = world.size();
+  const int cpn = machine.cores_per_node();
+  const int nodes = p / cpn;
+  Usec total = 0.0;
+
+  // Phase 1: binomial gather inside every node communicator.
+  const simmpi::SplitResult by_node = simmpi::split_by_node(world);
+  for (const auto& node_comm : by_node.comms) {
+    simmpi::Engine eng(node_comm, simmpi::CostConfig{},
+                       simmpi::ExecMode::Timed, msg, cpn);
+    // Per-node gathers run concurrently in reality; the slowest bounds the
+    // phase.
+    total = std::max(
+        total, collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
+                                       collectives::OrderFix::None,
+                                       identity_permutation(cpn)));
+  }
+
+  // Phase 2: ring allgather of node chunks among the leaders.
+  const simmpi::Communicator leaders = simmpi::leaders_comm(world);
+  simmpi::Engine ring(leaders, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                      msg * cpn, nodes);
+  total += collectives::run_allgather(
+      ring, collectives::AllgatherOptions{collectives::AllgatherAlgo::Ring,
+                                          collectives::OrderFix::None});
+
+  // Phase 3: binomial broadcast of the combined buffer inside every node.
+  Usec bcast_phase = 0.0;
+  for (const auto& node_comm : by_node.comms) {
+    simmpi::Engine eng(node_comm, simmpi::CostConfig{},
+                       simmpi::ExecMode::Timed, msg * p, 1);
+    bcast_phase = std::max(
+        bcast_phase,
+        collectives::run_bcast(eng, collectives::TreeAlgo::Binomial));
+  }
+  return total + bcast_phase;
+}
+
+}  // namespace
+
+int main() {
+  const topology::Machine machine = topology::Machine::gpc(32);
+  const int p = machine.total_cores();
+  const simmpi::Communicator world(
+      machine, simmpi::make_layout(machine, p, simmpi::LayoutSpec{}));
+
+  std::printf(
+      "Hand-assembled hierarchical allgather from public substrate pieces\n"
+      "(%d processes on %d nodes), cross-checked against the built-in path\n\n",
+      p, machine.num_nodes());
+
+  std::printf("%10s %18s %16s\n", "msg", "hand-rolled (us)", "built-in (us)");
+  for (Bytes msg : {Bytes(1024), Bytes(16 * 1024), Bytes(128 * 1024)}) {
+    const Usec mine = hand_rolled(world, msg);
+
+    simmpi::Engine eng(world, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                       msg, p);
+    collectives::run_hier_allgather(
+        eng, collectives::HierAllgatherOptions{
+                 collectives::AllgatherAlgo::Ring,
+                 collectives::IntraAlgo::Binomial,
+                 collectives::OrderFix::None});
+    std::printf("%10lld %18.1f %16.1f\n", static_cast<long long>(msg), mine,
+                eng.total());
+  }
+  std::printf(
+      "\nSmall differences are expected: the hand-rolled version prices\n"
+      "each phase in isolation, while the built-in path shares one engine\n"
+      "(same stage structure, same channel model).\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Layout advisor: the question a user actually brings to this library —
+// "my job is about to run; which placement should I request from the batch
+// system, and should I turn rank reordering on?"  For a given machine and
+// job size, the advisor evaluates every initial layout with and without
+// the heuristics across the message-size spectrum and prints a
+// recommendation.
+//
+// Usage: layout_advisor [nodes] [procs]   (defaults: 64 nodes, all cores)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/topoallgather.hpp"
+#include "simmpi/layout.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tarr;
+
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 64;
+  const topology::Machine machine = topology::Machine::gpc(nodes);
+  const int procs =
+      argc > 2 ? std::atoi(argv[2]) : machine.total_cores();
+  core::ReorderFramework framework(machine);
+
+  const Bytes sizes[] = {1024, 16 * 1024, 128 * 1024};
+
+  std::printf(
+      "Layout advisor — %d processes on %d nodes, allgather-heavy job\n"
+      "(geometric-mean latency across 1KB / 16KB / 128KB messages)\n\n",
+      procs, nodes);
+
+  TextTable t;
+  t.set_header({"layout", "default (us)", "reordered (us)",
+                "reorder gain"});
+  double best_score = 0.0;
+  std::string best_layout;
+  bool best_reordered = false;
+
+  for (const auto& spec : simmpi::all_layouts()) {
+    const simmpi::Communicator comm(
+        machine, simmpi::make_layout(machine, procs, spec));
+    core::TopoAllgatherConfig def;
+    def.mapper = core::MapperKind::None;
+    core::TopoAllgather d(framework, comm, def);
+    core::TopoAllgatherConfig heu;
+    heu.mapper = core::MapperKind::Heuristic;
+    heu.fix = collectives::OrderFix::InitComm;
+    core::TopoAllgather h(framework, comm, heu);
+
+    auto geomean = [&](core::TopoAllgather& path) {
+      double log_sum = 0.0;
+      for (Bytes msg : sizes) log_sum += std::log(path.latency(msg));
+      return std::exp(log_sum / std::size(sizes));
+    };
+    const double gd = geomean(d);
+    const double gh = geomean(h);
+    t.add_row({simmpi::to_string(spec), TextTable::num(gd, 1),
+               TextTable::num(gh, 1),
+               TextTable::num(gd / gh, 2) + "x"});
+
+    for (auto [score, reordered] : {std::pair{1.0 / gd, false},
+                                    std::pair{1.0 / gh, true}}) {
+      if (score > best_score) {
+        best_score = score;
+        best_layout = simmpi::to_string(spec);
+        best_reordered = reordered;
+      }
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Recommendation: request --distribution equivalent of '%s' and run\n"
+      "with rank reordering %s (info key tarr_reorder=%s).\n",
+      best_layout.c_str(), best_reordered ? "ENABLED" : "disabled",
+      best_reordered ? "enabled" : "disabled");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Mapping playground: shows, at human-readable scale (16 ranks on two
+// nodes), exactly what each fine-tuned heuristic does to an adverse initial
+// mapping — the per-rank placement, the weighted cost, and the simulated
+// collective latency before and after.
+
+#include <cstdio>
+
+#include "collectives/allgather.hpp"
+#include "common/permutation.hpp"
+#include "core/framework.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/mapcost.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+
+namespace {
+
+using namespace tarr;
+
+void show_placement(const topology::Machine& m, const char* label,
+                    const std::vector<int>& rank_to_core) {
+  std::printf("  %-18s", label);
+  for (std::size_t r = 0; r < rank_to_core.size(); ++r) {
+    const CoreId c = rank_to_core[r];
+    std::printf(" %zu:n%ds%d", r, m.node_of_core(c), m.socket_of_core(c));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const topology::Machine machine = topology::Machine::gpc(2);
+  core::ReorderFramework framework(machine);
+  const int p = 16;
+  const simmpi::LayoutSpec layout{simmpi::NodeOrder::Cyclic,
+                                  simmpi::SocketOrder::Scatter};
+  const simmpi::Communicator comm(machine,
+                                  simmpi::make_layout(machine, p, layout));
+  const auto& dist = framework.distances();
+
+  std::printf("16 ranks on 2 nodes, initial mapping %s\n",
+              simmpi::to_string(layout).c_str());
+  std::printf("(rank:nNODEsSOCKET)\n\n");
+  show_placement(machine, "initial", comm.rank_to_core());
+  std::printf("\n");
+
+  struct Case {
+    mapping::Pattern pattern;
+    collectives::AllgatherAlgo algo;
+    Bytes msg;  // a size in the regime the selector would pick this algo for
+  };
+  const Case cases[] = {
+      {mapping::Pattern::RecursiveDoubling,
+       collectives::AllgatherAlgo::RecursiveDoubling, 4 * 1024},
+      {mapping::Pattern::Ring, collectives::AllgatherAlgo::Ring, 64 * 1024},
+  };
+  for (const auto& c : cases) {
+    const auto pattern_graph = mapping::build_pattern_graph(c.pattern, p);
+    const auto rc = framework.reorder(comm, c.pattern);
+    const auto heuristic_name = mapping::make_heuristic(c.pattern)->name();
+
+    std::printf("%s (heuristic %s):\n", mapping::to_string(c.pattern),
+                heuristic_name.c_str());
+    show_placement(machine, heuristic_name.c_str(),
+                   rc.comm.rank_to_core());
+
+    const std::vector<int> initial(comm.rank_to_core().begin(),
+                                   comm.rank_to_core().end());
+    const std::vector<int> mapped(rc.comm.rank_to_core().begin(),
+                                  rc.comm.rank_to_core().end());
+    std::printf("  weighted cost: %.0f -> %.0f\n",
+                mapping::mapping_cost(pattern_graph, initial, dist),
+                mapping::mapping_cost(pattern_graph, mapped, dist));
+
+    const Bytes msg = c.msg;
+    simmpi::Engine before(comm, simmpi::CostConfig{},
+                          simmpi::ExecMode::Timed, msg, p);
+    collectives::run_allgather(
+        before, collectives::AllgatherOptions{c.algo,
+                                              collectives::OrderFix::None});
+    simmpi::Engine after(rc.comm, simmpi::CostConfig{},
+                         simmpi::ExecMode::Timed, msg, p);
+    collectives::run_allgather(
+        after,
+        collectives::AllgatherOptions{c.algo, collectives::OrderFix::InitComm},
+        rc.oldrank);
+    std::printf("  allgather(%lld B): %.1f us -> %.1f us\n\n",
+                static_cast<long long>(msg), before.total(), after.total());
+  }
+
+  std::printf(
+      "Every reordered collective still returns its output vector in\n"
+      "original-rank order (verified continuously by the test suite via\n"
+      "the §V-B initComm / endShfl mechanisms).\n");
+  return 0;
+}

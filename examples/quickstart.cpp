@@ -1,0 +1,61 @@
+// Quickstart: the five steps of topology-aware rank reordering.
+//
+//   1. describe the machine (here: a 64-node slice of the GPC-like cluster);
+//   2. place 512 MPI processes with the resource manager's layout;
+//   3. create the reordering framework (extracts distances once);
+//   4. wrap the communicator in a topology-aware allgather;
+//   5. call it — the first call per algorithm creates the reordered
+//      communicator, later calls reuse it.
+
+#include <cstdio>
+
+#include "core/topoallgather.hpp"
+#include "simmpi/layout.hpp"
+
+int main() {
+  using namespace tarr;
+
+  // 1. The machine: 64 dual-socket quad-core nodes on a GPC-style fat-tree.
+  const topology::Machine machine = topology::Machine::gpc(64);
+  std::printf("%s\n\n", machine.describe().c_str());
+
+  // 2. A 512-process job placed cyclically (a layout a batch scheduler
+  //    might produce, and a poor match for the ring algorithm).
+  const simmpi::LayoutSpec layout{simmpi::NodeOrder::Cyclic,
+                                  simmpi::SocketOrder::Bunch};
+  simmpi::Communicator comm(machine,
+                            simmpi::make_layout(machine, 512, layout));
+
+  // 3. The rank-reordering framework (the paper's §IV runtime).
+  core::ReorderFramework framework(machine);
+
+  // 4. Topology-aware allgather with the paper's heuristics and the
+  //    extra-initial-communications order fix.
+  core::TopoAllgatherConfig cfg;
+  cfg.mapper = core::MapperKind::Heuristic;
+  cfg.fix = collectives::OrderFix::InitComm;
+  core::TopoAllgather topo_aware(framework, comm, cfg);
+
+  // The untouched default, for comparison.
+  core::TopoAllgatherConfig none;
+  none.mapper = core::MapperKind::None;
+  core::TopoAllgather library_default(framework, comm, none);
+
+  // 5. Use it.
+  std::printf("initial mapping: %s\n", simmpi::to_string(layout).c_str());
+  std::printf("%10s %16s %16s %10s\n", "msg", "default (us)",
+              "reordered (us)", "speedup");
+  for (Bytes msg : {Bytes(256), Bytes(4096), Bytes(64 * 1024),
+                    Bytes(256 * 1024)}) {
+    const Usec before = library_default.latency(msg);
+    const Usec after = topo_aware.latency(msg);
+    std::printf("%10lld %16.1f %16.1f %9.2fx\n",
+                static_cast<long long>(msg), before, after, before / after);
+  }
+
+  std::printf(
+      "\none-time overheads: distance extraction %.3f s, mapping %.4f s\n",
+      framework.distance_extraction_seconds(),
+      topo_aware.mapping_seconds());
+  return 0;
+}

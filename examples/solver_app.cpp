@@ -1,0 +1,85 @@
+// Domain scenario: a distributed iterative solver whose communication is
+// dominated by MPI_Allgather — the application class the paper's intro
+// motivates and its Figs 5-6 evaluate.
+//
+// The solver gathers a distributed state vector every iteration (small
+// gathers for residual bookkeeping, a large gather for the state exchange),
+// on a 1024-process job that the batch system placed cyclically.  The
+// example runs the same trace through the default library, the fixed
+// topology-aware path, and the §VII adaptive path.
+
+#include <cstdio>
+
+#include "core/adaptive.hpp"
+#include "simmpi/layout.hpp"
+
+namespace {
+
+using namespace tarr;
+
+struct SolverTrace {
+  Bytes residual_msg = 2 * 1024;    // per-iteration residual allgather
+  Bytes state_msg = 128 * 1024;     // per-iteration state allgather
+  int iterations = 500;
+  Usec compute_per_iter = 40'000.0;  // 40 ms of local work
+};
+
+Usec run_solver(core::TopoAllgather& path, const SolverTrace& t) {
+  // Latencies are stationary per size; evaluate once, then accumulate.
+  const Usec residual = path.latency(t.residual_msg);
+  const Usec state = path.latency(t.state_msg);
+  return t.iterations * (t.compute_per_iter + residual + state);
+}
+
+Usec run_solver(core::AdaptiveAllgather& path, const SolverTrace& t) {
+  const Usec residual = path.latency(t.residual_msg);
+  const Usec state = path.latency(t.state_msg);
+  return t.iterations * (t.compute_per_iter + residual + state);
+}
+
+}  // namespace
+
+int main() {
+  const topology::Machine machine = topology::Machine::gpc(128);
+  core::ReorderFramework framework(machine);
+  const simmpi::LayoutSpec layout{simmpi::NodeOrder::Cyclic,
+                                  simmpi::SocketOrder::Scatter};
+  const simmpi::Communicator comm(
+      machine, simmpi::make_layout(machine, 1024, layout));
+  const SolverTrace trace;
+
+  std::printf(
+      "Iterative solver, 1024 processes, %d iterations, cyclic-scatter "
+      "placement\nper iteration: %.0f ms compute + allgather(%lld B) + "
+      "allgather(%lld B)\n\n",
+      trace.iterations, trace.compute_per_iter / 1000.0,
+      static_cast<long long>(trace.residual_msg),
+      static_cast<long long>(trace.state_msg));
+
+  core::TopoAllgatherConfig def;
+  def.mapper = core::MapperKind::None;
+  core::TopoAllgather default_path(framework, comm, def);
+  const Usec t_default = run_solver(default_path, trace);
+
+  core::TopoAllgatherConfig heu;
+  heu.mapper = core::MapperKind::Heuristic;
+  heu.fix = collectives::OrderFix::InitComm;
+  core::TopoAllgather reordered_path(framework, comm, heu);
+  const Usec t_reordered = run_solver(reordered_path, trace) +
+                           reordered_path.mapping_seconds() * 1e6;
+
+  core::AdaptiveAllgather adaptive(framework, comm, heu,
+                                   {trace.residual_msg, trace.state_msg});
+  const Usec t_adaptive = run_solver(adaptive, trace);
+
+  std::printf("%-28s %12s %10s\n", "configuration", "time (s)", "speedup");
+  std::printf("%-28s %12.2f %10s\n", "default library", t_default * 1e-6,
+              "1.00x");
+  std::printf("%-28s %12.2f %9.2fx\n", "topology-aware (Hrstc)",
+              t_reordered * 1e-6, t_default / t_reordered);
+  std::printf("%-28s %12.2f %9.2fx\n", "adaptive (future work)",
+              t_adaptive * 1e-6, t_default / t_adaptive);
+  std::printf("\nreordering overhead amortized over the run: %.4f s\n",
+              reordered_path.mapping_seconds());
+  return 0;
+}

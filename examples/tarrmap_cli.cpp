@@ -1,0 +1,139 @@
+// tarrmap — command-line front end to the mapping stack, the tool a cluster
+// operator would run: given a machine, a process count, an initial layout
+// and a collective pattern, print the reordered rank placement and its
+// predicted effect.
+//
+// Usage:
+//   tarrmap [--nodes N] [--procs P] [--layout block-bunch|block-scatter|
+//            cyclic-bunch|cyclic-scatter] [--pattern recursive-doubling|
+//            ring|binomial-bcast|binomial-gather|bruck]
+//            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/topoallgather.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/mapcost.hpp"
+#include "simmpi/layout.hpp"
+
+namespace {
+
+using namespace tarr;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes N] [--procs P] [--layout L] "
+               "[--pattern PAT] [--mapper M] [--seed S] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+simmpi::LayoutSpec parse_layout(const std::string& s) {
+  for (const auto& spec : simmpi::all_layouts())
+    if (to_string(spec) == s) return spec;
+  throw Error("unknown layout: " + s);
+}
+
+mapping::Pattern parse_pattern(const std::string& s) {
+  for (auto p : {mapping::Pattern::RecursiveDoubling, mapping::Pattern::Ring,
+                 mapping::Pattern::BinomialBcast,
+                 mapping::Pattern::BinomialGather, mapping::Pattern::Bruck})
+    if (s == mapping::to_string(p)) return p;
+  throw Error("unknown pattern: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 8;
+  int procs = 64;
+  std::string layout_name = "cyclic-bunch";
+  std::string pattern_name = "ring";
+  std::string mapper_name = "heuristic";
+  std::uint64_t seed = 1;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--nodes")) {
+      nodes = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--procs")) {
+      procs = std::atoi(next());
+    } else if (!std::strcmp(argv[i], "--layout")) {
+      layout_name = next();
+    } else if (!std::strcmp(argv[i], "--pattern")) {
+      pattern_name = next();
+    } else if (!std::strcmp(argv[i], "--mapper")) {
+      mapper_name = next();
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    const topology::Machine machine = topology::Machine::gpc(nodes);
+    const simmpi::LayoutSpec layout = parse_layout(layout_name);
+    const mapping::Pattern pattern = parse_pattern(pattern_name);
+    const simmpi::Communicator comm(
+        machine, simmpi::make_layout(machine, procs, layout));
+
+    core::ReorderFramework::Options opts;
+    opts.seed = seed;
+    core::ReorderFramework framework(machine, opts);
+
+    const core::ReorderedComm rc = [&] {
+      if (mapper_name == "heuristic")
+        return framework.reorder(comm, pattern);
+      if (mapper_name == "scotch")
+        return framework.reorder_with(
+            comm, *mapping::make_scotch_like_mapper(pattern));
+      if (mapper_name == "greedy")
+        return framework.reorder_with(
+            comm, *mapping::make_greedy_graph_mapper(pattern));
+      throw Error("unknown mapper: " + mapper_name);
+    }();
+
+    const auto g = mapping::build_pattern_graph(pattern, procs);
+    const auto& d = framework.distances();
+    const std::vector<int> before(comm.rank_to_core().begin(),
+                                  comm.rank_to_core().end());
+    const std::vector<int> after(rc.comm.rank_to_core().begin(),
+                                 rc.comm.rank_to_core().end());
+
+    std::printf("machine : %d nodes x %d cores (%d total)\n", nodes,
+                machine.cores_per_node(), machine.total_cores());
+    std::printf("job     : %d procs, %s initial layout\n", procs,
+                layout_name.c_str());
+    std::printf("pattern : %s, mapper %s, seed %llu\n", pattern_name.c_str(),
+                mapper_name.c_str(), static_cast<unsigned long long>(seed));
+    std::printf("cost    : %.0f -> %.0f (weighted distance)\n",
+                mapping::mapping_cost(g, before, d),
+                mapping::mapping_cost(g, after, d));
+    std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
+                rc.mapping_seconds, framework.distance_extraction_seconds());
+    if (!quiet) {
+      std::printf("\nnew_rank -> core (node.local):\n");
+      for (Rank j = 0; j < rc.comm.size(); ++j) {
+        const CoreId c = rc.comm.core_of(j);
+        std::printf("  %4d -> %4d (%d.%d)%s", j, c,
+                    machine.node_of_core(c), machine.local_core(c),
+                    (j + 1) % 4 == 0 ? "\n" : "");
+      }
+      if (rc.comm.size() % 4 != 0) std::printf("\n");
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tarrmap: %s\n", e.what());
+    return 1;
+  }
+}

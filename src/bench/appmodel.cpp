@@ -1,0 +1,57 @@
+#include "bench/appmodel.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tarr::bench {
+
+std::vector<AppTraceEntry> default_app_trace() {
+  // 3 058 calls total; the mix covers both selector regimes, weighted
+  // toward the small/medium sizes an iterative solver exchanges most often.
+  return {
+      {1 * 1024, 1223},    // 40% at 1 KB   (recursive-doubling regime)
+      {8 * 1024, 918},     // 30% at 8 KB   (recursive-doubling regime)
+      {64 * 1024, 611},    // 20% at 64 KB  (ring regime)
+      {256 * 1024, 306},   // 10% at 256 KB (ring regime)
+  };
+}
+
+std::vector<AppTraceEntry> load_app_trace(const std::string& path) {
+  std::ifstream in(path);
+  TARR_REQUIRE(in.good(), "load_app_trace: cannot open " + path);
+  std::vector<AppTraceEntry> trace;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream is(line);
+    AppTraceEntry e;
+    is >> e.msg >> e.calls;
+    TARR_REQUIRE(!is.fail() && e.msg >= 1 && e.calls >= 1,
+                 "load_app_trace: bad line " + std::to_string(lineno) +
+                     " in " + path);
+    trace.push_back(e);
+  }
+  TARR_REQUIRE(!trace.empty(), "load_app_trace: empty trace in " + path);
+  return trace;
+}
+
+int trace_calls(const std::vector<AppTraceEntry>& trace) {
+  int total = 0;
+  for (const auto& e : trace) total += e.calls;
+  return total;
+}
+
+Usec app_collective_time(core::TopoAllgather& path,
+                         const std::vector<AppTraceEntry>& trace) {
+  Usec total = 0.0;
+  for (const auto& e : trace)
+    total += path.latency(e.msg) * static_cast<double>(e.calls);
+  return total;
+}
+
+}  // namespace tarr::bench

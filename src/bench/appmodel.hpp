@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/topoallgather.hpp"
+
+/// \file appmodel.hpp
+/// Application model for the Fig 5/6 experiments.
+///
+/// The paper evaluates a real application that makes 3 058+ calls to
+/// MPI_Allgather at 1024 processes (its name is garbled in the available
+/// text) and reports execution time normalized to the default MVAPICH
+/// configuration, averaged over 30 runs.  For this purpose an application
+/// *is* its Allgather call trace plus the compute time between calls, so the
+/// model executes exactly that: a documented trace of (message size, call
+/// count) pairs interleaved with a fixed compute budget.
+
+namespace tarr::bench {
+
+/// One entry of the Allgather call mix.
+struct AppTraceEntry {
+  Bytes msg = 0;
+  int calls = 0;
+};
+
+/// The default trace: 3 058 Allgather calls spread over sizes that exercise
+/// both the recursive-doubling and the ring regime of the selector.
+std::vector<AppTraceEntry> default_app_trace();
+
+/// Load a trace from a text file: one "<msg_bytes> <calls>" pair per line;
+/// blank lines and lines starting with '#' are ignored.  Lets the Fig 5/6
+/// harnesses replay a profile captured from a real application.  Throws
+/// tarr::Error on I/O or format problems.
+std::vector<AppTraceEntry> load_app_trace(const std::string& path);
+
+/// Total number of calls in a trace.
+int trace_calls(const std::vector<AppTraceEntry>& trace);
+
+/// Simulated time spent inside Allgather over the whole trace (latencies
+/// are evaluated once per distinct size — the collective's cost does not
+/// change between calls).
+Usec app_collective_time(core::TopoAllgather& path,
+                         const std::vector<AppTraceEntry>& trace);
+
+}  // namespace tarr::bench

@@ -1,0 +1,50 @@
+#include "bench/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tarr::bench {
+
+void CsvWriter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvWriter::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  TARR_REQUIRE(out.good(), "CsvWriter::write: cannot open " + path);
+  out << to_string();
+  TARR_REQUIRE(out.good(), "CsvWriter::write: write failed for " + path);
+}
+
+}  // namespace tarr::bench

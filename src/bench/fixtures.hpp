@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/topoallgather.hpp"
+#include "simmpi/layout.hpp"
+
+/// \file fixtures.hpp
+/// Shared setup for the figure-reproduction benchmarks: the paper-scale
+/// machine (GPC fat-tree, 512 nodes x 8 cores = 4096 processes for the
+/// micro-benchmarks; 128 nodes = 1024 processes for the application runs)
+/// and helpers to build communicators and topology-aware allgather paths.
+
+namespace tarr::bench {
+
+/// The paper's micro-benchmark scale.
+inline constexpr int kPaperNodes = 512;
+inline constexpr int kPaperProcs = 4096;
+
+/// The paper's application scale (Figs 5-6 use 1024 processes).
+inline constexpr int kAppNodes = 128;
+inline constexpr int kAppProcs = 1024;
+
+/// A machine plus its reorder framework.
+struct BenchWorld {
+  topology::Machine machine;
+  core::ReorderFramework framework;
+
+  explicit BenchWorld(int nodes)
+      : machine(topology::Machine::gpc(nodes)), framework(machine) {}
+
+  simmpi::Communicator comm(int p, const simmpi::LayoutSpec& spec) {
+    return simmpi::Communicator(machine, simmpi::make_layout(machine, p, spec));
+  }
+
+  core::TopoAllgather path(int p, const simmpi::LayoutSpec& spec,
+                           const core::TopoAllgatherConfig& cfg) {
+    return core::TopoAllgather(framework, comm(p, spec), cfg);
+  }
+};
+
+}  // namespace tarr::bench

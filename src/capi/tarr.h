@@ -1,0 +1,87 @@
+#ifndef TARR_CAPI_H
+#define TARR_CAPI_H
+
+/* tarr.h — C interface to the topology-aware rank-reordering library.
+ *
+ * The C API mirrors how the paper's runtime would surface in an MPI
+ * implementation: create a machine (or its model), a communicator with the
+ * resource manager's layout, a reordering framework, then a topology-aware
+ * allgather handle configured through MPI-info-style key strings
+ * ("tarr_mapper=heuristic;tarr_order_fix=initcomm").
+ *
+ * Conventions:
+ *  - every function returns TARR_OK (0) on success or TARR_ERROR (-1);
+ *    tarr_last_error() returns the most recent failure message of the
+ *    calling thread;
+ *  - handles are opaque and must be destroyed with their destroy function;
+ *  - lifetime: a machine must outlive every framework/communicator built
+ *    on it; a framework must outlive every allgather handle built on it.
+ */
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+#define TARR_OK 0
+#define TARR_ERROR (-1)
+
+typedef struct tarr_machine_s* tarr_machine_t;
+typedef struct tarr_comm_s* tarr_comm_t;
+typedef struct tarr_framework_s* tarr_framework_t;
+typedef struct tarr_allgather_s* tarr_allgather_t;
+
+/* Most recent error message of this thread ("" if none). */
+const char* tarr_last_error(void);
+
+/* --- machine ----------------------------------------------------------- */
+
+/* GPC-like fat-tree machine with `nodes` dual-socket quad-core nodes. */
+int tarr_machine_create_gpc(int nodes, tarr_machine_t* out);
+/* Single-crossbar machine (contention-free control). */
+int tarr_machine_create_single_switch(int nodes, tarr_machine_t* out);
+void tarr_machine_destroy(tarr_machine_t m);
+int tarr_machine_total_cores(tarr_machine_t m);
+int tarr_machine_num_nodes(tarr_machine_t m);
+
+/* --- communicator ------------------------------------------------------ */
+
+/* `layout` accepts the library names ("block-bunch", ...) and SLURM
+ * --distribution syntax ("block:cyclic", ...). */
+int tarr_comm_create(tarr_machine_t m, int procs, const char* layout,
+                     tarr_comm_t* out);
+void tarr_comm_destroy(tarr_comm_t c);
+int tarr_comm_size(tarr_comm_t c);
+/* Core hosting rank r, or TARR_ERROR on a bad rank. */
+int tarr_comm_core_of(tarr_comm_t c, int rank);
+
+/* --- framework --------------------------------------------------------- */
+
+int tarr_framework_create(tarr_machine_t m, uint64_t seed,
+                          tarr_framework_t* out);
+void tarr_framework_destroy(tarr_framework_t f);
+/* Wall-clock seconds of the one-time distance extraction so far. */
+double tarr_framework_extraction_seconds(tarr_framework_t f);
+
+/* --- topology-aware allgather ------------------------------------------ */
+
+/* `info` is a "key=value;key=value" string (see core/info.hpp), or NULL /
+ * "" for the defaults (heuristic mapper, initComm fix). */
+int tarr_allgather_create(tarr_framework_t f, tarr_comm_t c,
+                          const char* info, tarr_allgather_t* out);
+void tarr_allgather_destroy(tarr_allgather_t a);
+/* Simulated latency (microseconds) of one allgather of msg_bytes/rank. */
+int tarr_allgather_latency(tarr_allgather_t a, long long msg_bytes,
+                           double* out_usec);
+/* Payload-verified execution (Data mode); fails if the output vector is
+ * not in original-rank order. */
+int tarr_allgather_verify(tarr_allgather_t a, long long msg_bytes);
+/* Accumulated one-time mapping overhead (wall-clock seconds). */
+double tarr_allgather_mapping_seconds(tarr_allgather_t a);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* TARR_CAPI_H */

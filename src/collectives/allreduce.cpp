@@ -1,0 +1,57 @@
+#include "collectives/allreduce.hpp"
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace tarr::collectives {
+
+Usec run_allreduce_rd(simmpi::Engine& eng) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(is_pow2(p), "run_allreduce_rd: needs 2^k ranks");
+  const Usec before = eng.total();
+  for (int dist = 1; dist < p; dist <<= 1) {
+    eng.begin_stage();
+    for (Rank j = 0; j < p; ++j) eng.combine(j, 0, j ^ dist, 0, 1);
+    eng.end_stage();
+  }
+  return eng.total() - before;
+}
+
+Usec run_allreduce_rabenseifner(simmpi::Engine& eng) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(is_pow2(p), "run_allreduce_rabenseifner: needs 2^k ranks");
+  TARR_REQUIRE(eng.buf_blocks() >= p,
+               "run_allreduce_rabenseifner: buffer too small");
+  const Usec before = eng.total();
+  if (p == 1) return 0.0;
+
+  // Recursive-halving reduce-scatter: each rank tracks the base of the
+  // segment it still owns; its peer contributes the peer's copy of that
+  // (shrinking) segment.
+  std::vector<int> base(p, 0);
+  for (int dist = p / 2; dist >= 1; dist /= 2) {
+    eng.begin_stage();
+    for (Rank j = 0; j < p; ++j) {
+      const Rank peer = j ^ dist;
+      const int mine = base[j] + ((j & dist) ? dist : 0);
+      eng.combine(peer, mine, j, mine, dist);
+      base[j] = mine;
+    }
+    eng.end_stage();
+  }
+  // base[j] == j now; a plain recursive-doubling allgather distributes the
+  // fully reduced blocks.
+  for (int dist = 1; dist < p; dist <<= 1) {
+    eng.begin_stage();
+    for (Rank j = 0; j < p; ++j) {
+      const int b = j & ~(dist - 1);
+      eng.copy(j, b, j ^ dist, b, dist);
+    }
+    eng.end_stage();
+  }
+  return eng.total() - before;
+}
+
+}  // namespace tarr::collectives

@@ -1,0 +1,39 @@
+#include "collectives/collective.hpp"
+
+namespace tarr::collectives {
+
+const char* to_string(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::RecursiveDoubling:
+      return "recursive-doubling";
+    case AllgatherAlgo::Ring:
+      return "ring";
+    case AllgatherAlgo::Bruck:
+      return "bruck";
+  }
+  return "?";
+}
+
+const char* to_string(OrderFix f) {
+  switch (f) {
+    case OrderFix::None:
+      return "none";
+    case OrderFix::InitComm:
+      return "initComm";
+    case OrderFix::EndShuffle:
+      return "endShfl";
+  }
+  return "?";
+}
+
+const char* to_string(IntraAlgo a) {
+  switch (a) {
+    case IntraAlgo::Linear:
+      return "linear";
+    case IntraAlgo::Binomial:
+      return "binomial";
+  }
+  return "?";
+}
+
+}  // namespace tarr::collectives

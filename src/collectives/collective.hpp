@@ -1,0 +1,29 @@
+#pragma once
+
+#include "common/types.hpp"
+
+/// \file collective.hpp
+/// Shared vocabulary of the collective-algorithm layer.
+
+namespace tarr::collectives {
+
+/// Allgather algorithm families evaluated in the paper (+ Bruck, §VII).
+enum class AllgatherAlgo { RecursiveDoubling, Ring, Bruck };
+
+/// §V-B output-order preservation mechanisms for reordered communicators.
+///   None       — ranks are in original order (or the algorithm fixes the
+///                order in place, as ring and Bruck do);
+///   InitComm   — extra initial point-to-point exchange moves every input to
+///                the process whose *new* rank equals the data's old rank;
+///   EndShuffle — run as-is, then locally permute the output vector.
+enum class OrderFix { None, InitComm, EndShuffle };
+
+/// Intra-node phase style of the hierarchical allgather: direct linear
+/// gather/bcast through the leader, or binomial-tree ("non-linear").
+enum class IntraAlgo { Linear, Binomial };
+
+const char* to_string(AllgatherAlgo a);
+const char* to_string(OrderFix f);
+const char* to_string(IntraAlgo a);
+
+}  // namespace tarr::collectives

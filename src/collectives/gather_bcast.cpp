@@ -1,0 +1,171 @@
+#include "collectives/gather_bcast.hpp"
+
+#include <algorithm>
+
+#include "collectives/allgather.hpp"
+#include "collectives/orderfix.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/permutation.hpp"
+
+namespace tarr::collectives {
+
+namespace {
+
+using simmpi::Engine;
+
+/// Binomial (halving-tree) gather stages to new rank 0: stage `dist` moves
+/// every subtree [t+dist, t+dist+size) into its parent t; ranges stay
+/// new-rank-contiguous throughout.
+void binomial_gather_stages(Engine& eng) {
+  const int p = eng.comm().size();
+  for (int dist = 1; dist < p; dist <<= 1) {
+    eng.begin_stage();
+    for (Rank t = 0; t + dist < p; t += 2 * dist) {
+      const int size = std::min(dist, p - (t + dist));
+      eng.copy(t + dist, t + dist, t, t + dist, size);
+    }
+    eng.end_stage();
+  }
+}
+
+}  // namespace
+
+Usec run_gather(simmpi::Engine& eng, TreeAlgo algo, OrderFix fix,
+                const std::vector<Rank>& oldrank) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(static_cast<int>(oldrank.size()) == p,
+               "run_gather: oldrank size mismatch");
+  TARR_REQUIRE(is_permutation_of_iota(oldrank),
+               "run_gather: oldrank is not a permutation");
+  TARR_REQUIRE(eng.buf_blocks() >= p, "run_gather: buffer too small");
+  const Usec before = eng.total();
+
+  if (algo == TreeAlgo::Linear) {
+    // Every rank sends its block straight to its original-rank slot at the
+    // root; arrivals serialize at the root, one stage each.  No §V-B
+    // mechanism is needed — the root addresses by the mapping array.
+    for (Rank j = 0; j < p; ++j)
+      eng.set_block(j, oldrank[j], static_cast<std::uint32_t>(oldrank[j]));
+    for (Rank t = 1; t < p; ++t) {
+      eng.begin_stage();
+      eng.copy(t, oldrank[t], 0, oldrank[t], 1);
+      eng.end_stage();
+    }
+    return eng.total() - before;
+  }
+
+  seed_allgather_inputs(eng, oldrank);
+  if (fix == OrderFix::InitComm) init_comm_exchange(eng, oldrank);
+  if (p > 1) binomial_gather_stages(eng);
+  if (fix == OrderFix::EndShuffle) end_shuffle(eng, oldrank);
+  return eng.total() - before;
+}
+
+Usec run_bcast(simmpi::Engine& eng, TreeAlgo algo) {
+  const int p = eng.comm().size();
+  const Usec before = eng.total();
+  eng.set_block(0, 0, 0xb0adca57u);
+
+  if (algo == TreeAlgo::Linear) {
+    // Root pushes the message to each rank in turn (sender serialization).
+    for (Rank t = 1; t < p; ++t) {
+      eng.begin_stage();
+      eng.copy(0, 0, t, 0, 1);
+      eng.end_stage();
+    }
+    return eng.total() - before;
+  }
+
+  // Binomial halving tree: the message size is constant across stages.
+  for (int dist = p >= 2 ? static_cast<int>(ceil_pow2(p) / 2) : 0; dist >= 1;
+       dist /= 2) {
+    eng.begin_stage();
+    for (Rank t = 0; t + dist < p; t += 2 * dist) eng.copy(t, 0, t + dist, 0, 1);
+    eng.end_stage();
+  }
+  return eng.total() - before;
+}
+
+Usec run_bcast_scatter_allgather(simmpi::Engine& eng, AllgatherAlgo ag) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(eng.buf_blocks() >= p,
+               "run_bcast_scatter_allgather: buffer too small");
+  const Usec before = eng.total();
+  for (int b = 0; b < p; ++b) eng.set_block(0, b, static_cast<std::uint32_t>(b));
+  if (p == 1) return eng.total() - before;
+
+  // Binomial scatter (reverse halving-tree gather): parents hand each child
+  // the half of their current range that the child's subtree owns.
+  for (int dist = static_cast<int>(ceil_pow2(p) / 2); dist >= 1; dist /= 2) {
+    eng.begin_stage();
+    for (Rank t = 0; t + dist < p; t += 2 * dist) {
+      const int size = std::min(dist, p - (t + dist));
+      eng.copy(t, t + dist, t + dist, t + dist, size);
+    }
+    eng.end_stage();
+  }
+
+  switch (ag) {
+    case AllgatherAlgo::RecursiveDoubling:
+      detail::rd_stages(eng);
+      break;
+    case AllgatherAlgo::Ring:
+      detail::ring_stages(eng, identity_permutation(p));
+      break;
+    case AllgatherAlgo::Bruck:
+      TARR_REQUIRE(false,
+                   "run_bcast_scatter_allgather: Bruck phase not supported");
+  }
+  return eng.total() - before;
+}
+
+Usec run_scatter(simmpi::Engine& eng, TreeAlgo algo,
+                 const std::vector<Rank>& oldrank) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(static_cast<int>(oldrank.size()) == p,
+               "run_scatter: oldrank size mismatch");
+  TARR_REQUIRE(is_permutation_of_iota(oldrank),
+               "run_scatter: oldrank is not a permutation");
+  TARR_REQUIRE(eng.buf_blocks() >= p, "run_scatter: buffer too small");
+  const Usec before = eng.total();
+
+  // Root's send buffer in original-rank order.
+  for (int r = 0; r < p; ++r)
+    eng.set_block(0, r, static_cast<std::uint32_t>(r));
+  if (p == 1) return eng.total() - before;
+
+  if (algo == TreeAlgo::Linear) {
+    // Direct addressing: send original rank oldrank[j]'s block to new rank
+    // j's slot j, one serialized departure per destination.
+    for (Rank j = 1; j < p; ++j) {
+      eng.begin_stage();
+      eng.copy(0, oldrank[j], j, j, 1);
+      eng.end_stage();
+    }
+    if (oldrank[0] != 0) {
+      eng.begin_stage();
+      eng.copy(0, oldrank[0], 0, 0, 1);  // root's own block into place
+      eng.end_stage();
+    }
+    return eng.total() - before;
+  }
+
+  // Binomial: the halving tree forwards new-rank-contiguous ranges, so the
+  // root first permutes its buffer into new-rank order (slot k <- block
+  // oldrank[k]).  Only the root's buffer is meaningful; the permute models
+  // its local shuffle.
+  const std::vector<Rank> inverse = invert_permutation(oldrank);
+  eng.local_permute_all(inverse);
+  for (int dist = static_cast<int>(ceil_pow2(p) / 2); dist >= 1; dist /= 2) {
+    eng.begin_stage();
+    for (Rank t = 0; t + dist < p; t += 2 * dist) {
+      const int size = std::min(dist, p - (t + dist));
+      eng.copy(t, t + dist, t + dist, t + dist, size);
+    }
+    eng.end_stage();
+  }
+  return eng.total() - before;
+}
+
+}  // namespace tarr::collectives

@@ -1,0 +1,16 @@
+#include "collectives/selector.hpp"
+
+#include "common/bits.hpp"
+
+namespace tarr::collectives {
+
+AllgatherAlgo select_allgather_algo(int p, Bytes msg_bytes,
+                                    const SelectorConfig& cfg) {
+  if (msg_bytes < cfg.rd_max_msg) {
+    return is_pow2(p) ? AllgatherAlgo::RecursiveDoubling
+                      : AllgatherAlgo::Bruck;
+  }
+  return AllgatherAlgo::Ring;
+}
+
+}  // namespace tarr::collectives

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+/// \file bits.hpp
+/// Bit helpers used by the power-of-two collective algorithms (recursive
+/// doubling, binomial trees) and by the mapping heuristics that mirror them.
+
+namespace tarr {
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(std::int64_t x) {
+  return x > 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)) for x >= 1.
+inline int floor_log2(std::int64_t x) {
+  TARR_REQUIRE(x >= 1, "floor_log2: x must be >= 1");
+  return 63 - std::countl_zero(static_cast<std::uint64_t>(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline int ceil_log2(std::int64_t x) {
+  TARR_REQUIRE(x >= 1, "ceil_log2: x must be >= 1");
+  return is_pow2(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// Largest power of two <= x (x >= 1).
+inline std::int64_t floor_pow2(std::int64_t x) {
+  return std::int64_t{1} << floor_log2(x);
+}
+
+/// Smallest power of two >= x (x >= 1).
+inline std::int64_t ceil_pow2(std::int64_t x) {
+  return std::int64_t{1} << ceil_log2(x);
+}
+
+}  // namespace tarr

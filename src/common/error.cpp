@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace tarr::detail {
+
+void throw_error(const char* cond, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "tarr: requirement failed: (" << cond << ") at " << file << ":" << line
+     << ": " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace tarr::detail

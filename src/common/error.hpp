@@ -1,0 +1,32 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.hpp
+/// Error handling: all precondition violations throw tarr::Error so tests can
+/// assert on them and callers never observe silently-corrupt state.
+
+namespace tarr {
+
+/// Exception thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* cond, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace tarr
+
+/// Precondition / invariant check that is always on (cheap checks only on hot
+/// paths; heavyweight validation belongs behind TARR_CHECK_SLOW).
+#define TARR_REQUIRE(cond, msg)                                      \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::tarr::detail::throw_error(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rng.hpp
+/// Small deterministic RNG (xoshiro256**) used wherever the paper calls for a
+/// random choice (Algorithm 1 step 5 breaks distance ties randomly).  We do
+/// not use std::mt19937 so that results are bit-identical across standard
+/// library implementations, which keeps the test suite and the benchmark
+/// tables reproducible.
+
+namespace tarr {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded via splitmix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the full state from a single 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace tarr

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Plain-text table renderer used by every benchmark binary to print the
+/// rows/series that correspond to the paper's figures.
+
+namespace tarr {
+
+/// A simple column-aligned text table.  Cells are strings; numeric helpers
+/// format with fixed precision.  The renderer right-aligns numeric-looking
+/// cells and left-aligns everything else.
+class TextTable {
+ public:
+  /// Set the header row (clears any previous header).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; it may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  /// Format a byte count as "1", "512", "1K", "256K", ...
+  static std::string bytes(long long b);
+
+  /// Render the table to a string (trailing newline included).
+  std::string render() const;
+
+  /// Number of data rows currently in the table.
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tarr

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <chrono>
+
+/// \file timer.hpp
+/// Wall-clock timer for the overhead experiments (paper Fig 7 measures the
+/// real cost of distance extraction and of each mapping algorithm).
+
+namespace tarr {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset().
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tarr

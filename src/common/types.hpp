@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+/// \file types.hpp
+/// Fundamental identifier and size types shared by every tarr module.
+///
+/// All identifiers are dense zero-based indices.  Distinct aliases are used
+/// for documentation value; they are intentionally *not* strong types so that
+/// numeric code (distance matrices, schedules) stays idiomatic.
+
+namespace tarr {
+
+/// Rank of a process within a communicator (0 .. size-1).
+using Rank = int;
+
+/// Global index of a physical core within a Machine (0 .. total_cores-1).
+using CoreId = int;
+
+/// Index of a compute node within a Machine (0 .. num_nodes-1).
+using NodeId = int;
+
+/// Index of a socket within a node (0 .. sockets_per_node-1).
+using SocketId = int;
+
+/// Vertex id of a switch or host endpoint in the network switch graph.
+using NetVertexId = int;
+
+/// Directed edge (link) id in the network switch graph.
+using LinkId = int;
+
+/// Message/payload size in bytes.
+using Bytes = std::int64_t;
+
+/// Simulated time in microseconds.
+using Usec = double;
+
+/// Sentinel for "no core assigned" in mapping arrays.
+inline constexpr CoreId kNoCore = -1;
+
+/// Sentinel for "no rank".
+inline constexpr Rank kNoRank = -1;
+
+}  // namespace tarr

@@ -1,0 +1,60 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace tarr::core {
+
+namespace {
+
+TopoAllgatherConfig default_of(TopoAllgatherConfig cfg) {
+  cfg.mapper = MapperKind::None;
+  return cfg;
+}
+
+}  // namespace
+
+AdaptiveAllgather::AdaptiveAllgather(ReorderFramework& framework,
+                                     const simmpi::Communicator& comm,
+                                     TopoAllgatherConfig variant_cfg,
+                                     std::vector<Bytes> probe_sizes)
+    : default_path_(framework, comm, default_of(variant_cfg)),
+      reordered_path_(framework, comm, variant_cfg),
+      probes_(std::move(probe_sizes)) {
+  TARR_REQUIRE(variant_cfg.mapper != MapperKind::None,
+               "AdaptiveAllgather: variant must reorder");
+  TARR_REQUIRE(!probes_.empty(), "AdaptiveAllgather: no probe sizes");
+  TARR_REQUIRE(std::is_sorted(probes_.begin(), probes_.end()),
+               "AdaptiveAllgather: probe sizes must ascend");
+  decisions_.reserve(probes_.size());
+  for (Bytes msg : probes_) {
+    decisions_.push_back(reordered_path_.latency(msg) <
+                         default_path_.latency(msg));
+  }
+}
+
+int AdaptiveAllgather::nearest_probe(Bytes msg) const {
+  int best = 0;
+  Bytes best_gap = std::abs(probes_[0] - msg);
+  for (std::size_t i = 1; i < probes_.size(); ++i) {
+    const Bytes gap = std::abs(probes_[i] - msg);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool AdaptiveAllgather::use_reordered(Bytes msg) const {
+  return decisions_[nearest_probe(msg)];
+}
+
+Usec AdaptiveAllgather::latency(Bytes msg) {
+  return use_reordered(msg) ? reordered_path_.latency(msg)
+                            : default_path_.latency(msg);
+}
+
+}  // namespace tarr::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "core/topoallgather.hpp"
+
+/// \file adaptive.hpp
+/// Adaptive reordering (§VII future work): "a runtime component is used to
+/// decide whether to use the reordered communicator for a given collective
+/// or not based on the potential performance improvements that each
+/// heuristic can provide for various message sizes."
+///
+/// At construction, the adaptive layer probes a set of message sizes in
+/// Timed mode against both the default and the reordered path, then routes
+/// each subsequent call to whichever path won at the nearest probe size.
+
+namespace tarr::core {
+
+/// See file comment.
+class AdaptiveAllgather {
+ public:
+  /// `variant_cfg` describes the reordered path (its MapperKind must not be
+  /// None); the default path is the same configuration with mapper None.
+  /// `probe_sizes` must be non-empty and ascending.
+  AdaptiveAllgather(ReorderFramework& framework,
+                    const simmpi::Communicator& comm,
+                    TopoAllgatherConfig variant_cfg,
+                    std::vector<Bytes> probe_sizes);
+
+  /// Whether a message of `msg` bytes will use the reordered communicator.
+  bool use_reordered(Bytes msg) const;
+
+  /// Latency of one allgather through the adaptively chosen path.
+  Usec latency(Bytes msg);
+
+  /// Probe decisions, aligned with the probe sizes (true = reordered won).
+  const std::vector<bool>& decisions() const { return decisions_; }
+  const std::vector<Bytes>& probe_sizes() const { return probes_; }
+
+ private:
+  int nearest_probe(Bytes msg) const;
+
+  TopoAllgather default_path_;
+  TopoAllgather reordered_path_;
+  std::vector<Bytes> probes_;
+  std::vector<bool> decisions_;
+};
+
+}  // namespace tarr::core

@@ -1,0 +1,99 @@
+#include "core/info.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace tarr::core {
+
+namespace {
+
+std::string lower_trim(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+InfoConfig parse_info(
+    const std::vector<std::pair<std::string, std::string>>& kv) {
+  InfoConfig info;
+  for (const auto& [raw_key, raw_value] : kv) {
+    const std::string key = lower_trim(raw_key);
+    const std::string value = lower_trim(raw_value);
+    if (key == "tarr_reorder") {
+      if (value == "enabled") {
+        info.enabled = true;
+      } else if (value == "disabled") {
+        info.enabled = false;
+      } else {
+        TARR_REQUIRE(false, "parse_info: bad tarr_reorder value: " + value);
+      }
+    } else if (key == "tarr_mapper") {
+      if (value == "heuristic") {
+        info.config.mapper = MapperKind::Heuristic;
+      } else if (value == "scotch") {
+        info.config.mapper = MapperKind::ScotchLike;
+      } else if (value == "greedy") {
+        info.config.mapper = MapperKind::GreedyGraph;
+      } else if (value == "mvapich-cyclic") {
+        info.config.mapper = MapperKind::MvapichCyclic;
+      } else {
+        TARR_REQUIRE(false, "parse_info: bad tarr_mapper value: " + value);
+      }
+    } else if (key == "tarr_order_fix") {
+      if (value == "initcomm") {
+        info.config.fix = collectives::OrderFix::InitComm;
+      } else if (value == "endshfl") {
+        info.config.fix = collectives::OrderFix::EndShuffle;
+      } else {
+        TARR_REQUIRE(false, "parse_info: bad tarr_order_fix value: " + value);
+      }
+    } else if (key == "tarr_hierarchical") {
+      if (value == "true") {
+        info.config.hierarchical = true;
+      } else if (value == "false") {
+        info.config.hierarchical = false;
+      } else {
+        TARR_REQUIRE(false,
+                     "parse_info: bad tarr_hierarchical value: " + value);
+      }
+    } else if (key == "tarr_intra") {
+      if (value == "binomial") {
+        info.config.intra = collectives::IntraAlgo::Binomial;
+      } else if (value == "linear") {
+        info.config.intra = collectives::IntraAlgo::Linear;
+      } else {
+        TARR_REQUIRE(false, "parse_info: bad tarr_intra value: " + value);
+      }
+    } else {
+      TARR_REQUIRE(false, "parse_info: unknown info key: " + key);
+    }
+  }
+  if (!info.enabled) info.config.mapper = MapperKind::None;
+  return info;
+}
+
+InfoConfig parse_info_string(const std::string& s) {
+  std::vector<std::pair<std::string, std::string>> kv;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t end = std::min(s.find(';', pos), s.size());
+    const std::string segment = s.substr(pos, end - pos);
+    pos = end + 1;
+    if (lower_trim(segment).empty()) continue;
+    const std::size_t eq = segment.find('=');
+    TARR_REQUIRE(eq != std::string::npos,
+                 "parse_info_string: segment without '=': " + segment);
+    kv.emplace_back(segment.substr(0, eq), segment.substr(eq + 1));
+  }
+  return parse_info(kv);
+}
+
+}  // namespace tarr::core

@@ -1,0 +1,95 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tarr::graph {
+
+WeightedGraph::WeightedGraph(int num_vertices) : n_(num_vertices) {
+  TARR_REQUIRE(num_vertices >= 0, "WeightedGraph: negative vertex count");
+}
+
+void WeightedGraph::add_edge(int u, int v, double w) {
+  TARR_REQUIRE(!finalized_, "add_edge after finalize");
+  TARR_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+               "add_edge: vertex out of range");
+  TARR_REQUIRE(u != v, "add_edge: self-loop");
+  TARR_REQUIRE(w > 0, "add_edge: weight must be positive");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, w});
+}
+
+void WeightedGraph::finalize() {
+  if (finalized_) return;
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  // Merge parallel edges.
+  std::vector<Edge> merged;
+  merged.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  edges_ = std::move(merged);
+
+  adj_.assign(n_, {});
+  wdeg_.assign(n_, 0.0);
+  for (const Edge& e : edges_) {
+    adj_[e.u].push_back(Neighbor{e.v, e.w});
+    adj_[e.v].push_back(Neighbor{e.u, e.w});
+    wdeg_[e.u] += e.w;
+    wdeg_[e.v] += e.w;
+  }
+  finalized_ = true;
+}
+
+const std::vector<WeightedGraph::Neighbor>& WeightedGraph::neighbors(
+    int u) const {
+  TARR_REQUIRE(finalized_, "neighbors: graph not finalized");
+  TARR_REQUIRE(u >= 0 && u < n_, "neighbors: vertex out of range");
+  return adj_[u];
+}
+
+const std::vector<Edge>& WeightedGraph::edges() const {
+  TARR_REQUIRE(finalized_, "edges: graph not finalized");
+  return edges_;
+}
+
+double WeightedGraph::weighted_degree(int u) const {
+  TARR_REQUIRE(finalized_, "weighted_degree: graph not finalized");
+  TARR_REQUIRE(u >= 0 && u < n_, "weighted_degree: vertex out of range");
+  return wdeg_[u];
+}
+
+std::string WeightedGraph::to_dot(const std::string& name) const {
+  TARR_REQUIRE(finalized_, "to_dot: graph not finalized");
+  std::string out = "graph " + name + " {\n";
+  for (const Edge& e : edges_) {
+    out += "  " + std::to_string(e.u) + " -- " + std::to_string(e.v) +
+           " [label=\"";
+    // Trim trailing zeros for readable labels.
+    std::string w = std::to_string(e.w);
+    while (w.size() > 1 && w.back() == '0') w.pop_back();
+    if (!w.empty() && w.back() == '.') w.pop_back();
+    out += w + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+double WeightedGraph::cut_weight(const std::vector<int>& part) const {
+  TARR_REQUIRE(finalized_, "cut_weight: graph not finalized");
+  TARR_REQUIRE(static_cast<int>(part.size()) == n_,
+               "cut_weight: partition size mismatch");
+  double cut = 0.0;
+  for (const Edge& e : edges_)
+    if (part[e.u] != part[e.v]) cut += e.w;
+  return cut;
+}
+
+}  // namespace tarr::graph

@@ -1,0 +1,69 @@
+#include "graph/pattern.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace tarr::graph {
+
+WeightedGraph recursive_doubling_pattern(int p) {
+  TARR_REQUIRE(is_pow2(p), "recursive_doubling_pattern: p must be 2^k");
+  WeightedGraph g(p);
+  for (int dist = 1; dist < p; dist <<= 1) {
+    for (int i = 0; i < p; ++i) {
+      const int peer = i ^ dist;
+      if (i < peer) g.add_edge(i, peer, static_cast<double>(dist));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+WeightedGraph ring_pattern(int p) {
+  TARR_REQUIRE(p >= 2, "ring_pattern: need p >= 2");
+  WeightedGraph g(p);
+  for (int i = 0; i < p; ++i)
+    g.add_edge(i, (i + 1) % p, static_cast<double>(p - 1));
+  g.finalize();
+  return g;
+}
+
+WeightedGraph binomial_bcast_pattern(int p) {
+  TARR_REQUIRE(p >= 2, "binomial_bcast_pattern: need p >= 2");
+  WeightedGraph g(p);
+  for (int dist = 1; dist < p; dist <<= 1) {
+    for (int r = 0; r + dist < p; r += 2 * dist) g.add_edge(r, r + dist, 1.0);
+  }
+  g.finalize();
+  return g;
+}
+
+WeightedGraph binomial_gather_pattern(int p) {
+  TARR_REQUIRE(p >= 2, "binomial_gather_pattern: need p >= 2");
+  WeightedGraph g(p);
+  for (int dist = 1; dist < p; dist <<= 1) {
+    for (int r = 0; r + dist < p; r += 2 * dist) {
+      const int subtree = std::min(dist, p - (r + dist));
+      g.add_edge(r, r + dist, static_cast<double>(subtree));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+WeightedGraph bruck_pattern(int p) {
+  TARR_REQUIRE(p >= 2, "bruck_pattern: need p >= 2");
+  WeightedGraph g(p);
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const double blocks = static_cast<double>(std::min(dist, p - dist));
+    for (int i = 0; i < p; ++i) {
+      const int peer = (i - dist % p + p) % p;
+      if (peer != i) g.add_edge(i, peer, blocks);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace tarr::graph

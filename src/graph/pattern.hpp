@@ -1,0 +1,43 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+/// \file pattern.hpp
+/// Builders for the communication-pattern graphs of the collective algorithms
+/// covered by the paper.  Edge weights are relative communication volumes in
+/// units of one per-rank contribution block, so a general-purpose mapper sees
+/// exactly the traffic the algorithm will generate.
+///
+/// The fine-tuned heuristics (tarr::mapping) never build these graphs — the
+/// paper's point is that they derive the pattern in closed form — but the
+/// Scotch-like comparator requires them, and tests use them as the ground
+/// truth for what each algorithm communicates.
+
+namespace tarr::graph {
+
+/// Recursive-doubling allgather on p ranks (p must be a power of two).
+/// Stage s (s = 0..log2(p)-1) pairs i with i XOR 2^s exchanging 2^s blocks,
+/// so the edge {i, i XOR 2^s} has weight 2^s.
+WeightedGraph recursive_doubling_pattern(int p);
+
+/// Ring allgather on p >= 2 ranks: rank i sends to (i+1) mod p in each of the
+/// p-1 stages, one block per stage; edge weight p-1 between neighbors.
+WeightedGraph ring_pattern(int p);
+
+/// Binomial (halving-tree) broadcast from root 0 on p ranks: at stage
+/// `dist` (descending powers of two) every rank r aligned to 2*dist sends
+/// the full message to r + dist; all edges carry the same volume (weight 1).
+/// This is the tree Algorithm 4 (BBMH) and the bcast collective use.
+WeightedGraph binomial_bcast_pattern(int p);
+
+/// Binomial (halving-tree) gather to root 0 on p ranks: the child r + 2^k
+/// (r aligned to 2^(k+1)) forwards its entire gathered subtree (2^k blocks,
+/// truncated at p) to r, so edge {r, r + 2^k} has weight
+/// min(2^k, p - (r + 2^k)).
+WeightedGraph binomial_gather_pattern(int p);
+
+/// Bruck allgather on any p >= 2: stage s sends min(2^s, p - 2^s) blocks
+/// from rank i to rank (i - 2^s + p) % p.
+WeightedGraph bruck_pattern(int p);
+
+}  // namespace tarr::graph

@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/scheme.hpp"
+
+namespace tarr::mapping {
+
+namespace {
+
+/// Children of `r` in the root-0 binomial (halving) tree on p ranks, in
+/// ascending subtree size: r + 2^k for 2^k < lsb(r) (every power for r = 0),
+/// truncated at p.
+std::vector<Rank> binomial_children(Rank r, int p) {
+  std::vector<Rank> kids;
+  const int max_i = p >= 2 ? static_cast<int>(ceil_pow2(p) / 2) : 0;
+  for (int i = 1; i <= max_i && (r & i) == 0; i <<= 1) {
+    if (r + i >= p) break;
+    kids.push_back(r + i);
+  }
+  return kids;
+}
+
+/// Depth-first mapping (Algorithm 4): each child is mapped as close as
+/// possible to its parent, then its own subtree is completed before the next
+/// sibling.  `reverse_children` flips to largest-subtree-first.
+void rec_binomial_map(Rank r, int p, MappingState& st, bool reverse_children) {
+  std::vector<Rank> kids = binomial_children(r, p);
+  if (reverse_children) std::reverse(kids.begin(), kids.end());
+  for (Rank c : kids) {
+    st.map_close_to(c, r);
+    rec_binomial_map(c, p, st, reverse_children);
+  }
+}
+
+}  // namespace
+
+/// Algorithm 4.  The broadcast message size is constant across stages, so
+/// the heuristic is purely a tree traversal; the paper picks the variation
+/// of DFT that visits smaller subtrees first (later-stage communications are
+/// the numerous, contention-prone ones and end up packed closest together).
+std::vector<int> BbmhMapper::map(const std::vector<int>& rank_to_slot,
+                                 const topology::DistanceMatrix& d,
+                                 Rng& rng) const {
+  const int p = static_cast<int>(rank_to_slot.size());
+  MappingState st(rank_to_slot, d, rng);
+  if (p == 1) return st.result();
+
+  switch (order_) {
+    case BbmhTraversal::SmallSubtreeFirst:
+      rec_binomial_map(0, p, st, /*reverse_children=*/false);
+      break;
+    case BbmhTraversal::LargeSubtreeFirst:
+      rec_binomial_map(0, p, st, /*reverse_children=*/true);
+      break;
+    case BbmhTraversal::LevelOrder: {
+      // Broadcast stage order: dist = 2^ceil(log2 p)/2 .. 1; at each stage
+      // every aligned mapped parent hands the next child its closest slot.
+      for (int dist = static_cast<int>(ceil_pow2(p) / 2); dist >= 1;
+           dist /= 2) {
+        for (Rank r = 0; r + dist < p; r += 2 * dist) {
+          st.map_close_to(r + dist, r);
+        }
+      }
+      break;
+    }
+  }
+  return st.result();
+}
+
+}  // namespace tarr::mapping

@@ -1,0 +1,36 @@
+#include <vector>
+
+#include "common/bits.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/scheme.hpp"
+
+namespace tarr::mapping {
+
+/// Algorithm 5.  Gather messages grow toward the root, so the heaviest tree
+/// edges (subtree size = i) are mapped first: for i = p/2, p/4, ..., 1 every
+/// potential reference r in V with an unmapped child r+i places that child
+/// as close as possible to itself, and every newly mapped rank joins V.
+std::vector<int> BgmhMapper::map(const std::vector<int>& rank_to_slot,
+                                 const topology::DistanceMatrix& d,
+                                 Rng& rng) const {
+  const int p = static_cast<int>(rank_to_slot.size());
+  MappingState st(rank_to_slot, d, rng);
+  if (p == 1) return st.result();
+
+  std::vector<Rank> v{0};  // potential reference cores, insertion order
+  for (int i = static_cast<int>(ceil_pow2(p) / 2); i >= 1; i /= 2) {
+    // Only references present before this level existed when the paper's
+    // loop reaches level i; ranks added at level i have no child at level i.
+    const std::size_t snapshot = v.size();
+    for (std::size_t k = 0; k < snapshot; ++k) {
+      const Rank ref = v[k];
+      const Rank child = ref + i;
+      if (child >= p) continue;
+      st.map_close_to(child, ref);
+      v.push_back(child);
+    }
+  }
+  return st.result();
+}
+
+}  // namespace tarr::mapping

@@ -1,0 +1,21 @@
+#include "mapping/mapcost.hpp"
+
+#include "common/error.hpp"
+
+namespace tarr::mapping {
+
+double mapping_cost(const graph::WeightedGraph& pattern,
+                    const std::vector<int>& rank_to_slot,
+                    const topology::DistanceMatrix& d) {
+  TARR_REQUIRE(pattern.num_vertices() ==
+                   static_cast<int>(rank_to_slot.size()),
+               "mapping_cost: pattern/assignment size mismatch");
+  double cost = 0.0;
+  for (const auto& e : pattern.edges()) {
+    cost += e.w * static_cast<double>(
+                      d.at(rank_to_slot[e.u], rank_to_slot[e.v]));
+  }
+  return cost;
+}
+
+}  // namespace tarr::mapping

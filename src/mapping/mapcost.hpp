@@ -1,0 +1,19 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "topology/distance.hpp"
+
+/// \file mapcost.hpp
+/// Mapping quality metric: the classic weighted-distance ("hop-bytes")
+/// objective sum_e w(e) * dist(slot(u), slot(v)).  The heuristics never
+/// optimize this metric explicitly, but tests and ablations use it to check
+/// that they reduce it relative to the initial mapping.
+
+namespace tarr::mapping {
+
+/// Weighted-distance cost of assignment `rank_to_slot` for `pattern`.
+double mapping_cost(const graph::WeightedGraph& pattern,
+                    const std::vector<int>& rank_to_slot,
+                    const topology::DistanceMatrix& d);
+
+}  // namespace tarr::mapping

@@ -1,0 +1,41 @@
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/scheme.hpp"
+
+namespace tarr::mapping {
+
+/// Algorithm 2.  Starting from the last stage (i = p/2), the next process is
+/// the peer `ref XOR i` of the reference in the furthest not-yet-covered
+/// stage; after `period_` placements the reference advances to the most
+/// recently mapped rank (whose own last-stage peer then gets priority).
+std::vector<int> RdmhMapper::map(const std::vector<int>& rank_to_slot,
+                                 const topology::DistanceMatrix& d,
+                                 Rng& rng) const {
+  const int p = static_cast<int>(rank_to_slot.size());
+  if (p == 1) return rank_to_slot;
+  TARR_REQUIRE(is_pow2(p),
+               "RDMH: recursive doubling requires a power-of-two size");
+
+  MappingState st(rank_to_slot, d, rng);
+  Rank ref = 0;
+  int i = p / 2;
+  int placed_around_ref = 0;
+
+  while (!st.done()) {
+    while (i >= 1 && st.is_mapped(ref ^ i)) i /= 2;
+    // Every peer of the reference is mapped: fall back to the lowest
+    // unmapped rank (cannot occur with period 2, but keeps arbitrary
+    // ref-update policies total).
+    const Rank next = i >= 1 ? (ref ^ i) : st.first_unmapped();
+    st.map_close_to(next, ref);
+    if (period_ >= 1 && ++placed_around_ref >= period_) {
+      ref = next;
+      i = p / 2;
+      placed_around_ref = 0;
+    }
+  }
+  return st.result();
+}
+
+}  // namespace tarr::mapping

@@ -1,0 +1,23 @@
+#include "mapping/heuristics.hpp"
+#include "mapping/scheme.hpp"
+
+namespace tarr::mapping {
+
+/// Algorithm 3.  In the ring every rank talks to a single fixed successor,
+/// so processes are selected in increasing rank order and the reference
+/// advances every iteration: rank r+1 lands as close as possible to wherever
+/// rank r just landed.
+std::vector<int> RmhMapper::map(const std::vector<int>& rank_to_slot,
+                                const topology::DistanceMatrix& d,
+                                Rng& rng) const {
+  MappingState st(rank_to_slot, d, rng);
+  Rank ref = 0;
+  while (!st.done()) {
+    const Rank next = ref + 1;  // never wraps: rank p-1 is mapped last
+    st.map_close_to(next, ref);
+    ref = next;
+  }
+  return st.result();
+}
+
+}  // namespace tarr::mapping

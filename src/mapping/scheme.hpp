@@ -1,0 +1,71 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/distance.hpp"
+
+/// \file scheme.hpp
+/// Shared machinery of Algorithm 1, the general scheme behind every
+/// fine-tuned heuristic:
+///
+///   1  fix rank 0 on its current slot, choose it as the reference;
+///   3  while processes remain:
+///   4    select the next process               (pattern-specific)
+///   5    find the free slot closest to the reference (ties broken randomly)
+///   6    map the process onto it
+///   7    update the reference if necessary     (pattern-specific)
+///
+/// MappingState implements steps 1, 5 and 6 plus the bookkeeping; each
+/// heuristic supplies its own process-selection and reference-update policy.
+
+namespace tarr::mapping {
+
+/// Mutable state of one run of Algorithm 1.
+class MappingState {
+ public:
+  /// `rank_to_slot` is the initial assignment; `d` the slot distances.
+  /// Fixes rank 0 on its current slot immediately (step 1).
+  MappingState(const std::vector<int>& rank_to_slot,
+               const topology::DistanceMatrix& d, Rng& rng);
+
+  int num_ranks() const { return p_; }
+  int num_mapped() const { return mapped_; }
+  bool done() const { return mapped_ == p_; }
+
+  /// True iff `rank` has already been assigned a slot.
+  bool is_mapped(Rank rank) const;
+
+  /// Slot assigned to a mapped rank.
+  int slot_of(Rank rank) const;
+
+  /// Step 5: the free slot with minimum distance from the slot of
+  /// `ref_rank` (which must be mapped); ties are broken uniformly at random.
+  int find_closest_to(Rank ref_rank);
+
+  /// Step 6: assign `rank` (not yet mapped) to `slot` (currently free).
+  void assign(Rank rank, int slot);
+
+  /// Convenience for the common "map `rank` next to `ref_rank`" step.
+  void map_close_to(Rank rank, Rank ref_rank);
+
+  /// Lowest-numbered rank that is not mapped yet (kNoRank if none) — used as
+  /// a robustness fallback when a pattern's selection rule runs out of
+  /// candidates before every process is mapped.
+  Rank first_unmapped() const;
+
+  /// Final result M[new_rank] = slot.  Valid once done().
+  std::vector<int> result() const;
+
+ private:
+  int p_;
+  const topology::DistanceMatrix* d_;
+  Rng* rng_;
+  std::vector<int> assignment_;   // new_rank -> slot or -1
+  std::vector<int> free_slots_;   // unordered pool, swap-remove
+  std::vector<int> free_index_;   // slot -> index in free_slots_ or -1
+  int mapped_ = 0;
+};
+
+}  // namespace tarr::mapping

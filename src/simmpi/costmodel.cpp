@@ -1,0 +1,161 @@
+#include "simmpi/costmodel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tarr::simmpi {
+
+CostModel::CostModel(const topology::Machine& m, const CostConfig& cfg)
+    : machine_(&m), cfg_(cfg) {
+  link_bytes_.assign(static_cast<std::size_t>(m.network().num_links()) * 2,
+                     0.0);
+  qpi_bytes_.assign(static_cast<std::size_t>(m.num_nodes()) * 2, 0.0);
+  socket_bytes_.assign(
+      static_cast<std::size_t>(m.num_nodes()) * m.shape().sockets, 0.0);
+}
+
+void CostModel::begin_stage() {
+  TARR_REQUIRE(!stage_open_, "begin_stage: previous stage still open");
+  stage_open_ = true;
+}
+
+double& CostModel::link_load(LinkId l, int dir) {
+  return link_bytes_[static_cast<std::size_t>(l) * 2 + dir];
+}
+
+double& CostModel::qpi_load(NodeId n, int dir) {
+  return qpi_bytes_[static_cast<std::size_t>(n) * 2 + dir];
+}
+
+double& CostModel::socket_load(NodeId n, SocketId s) {
+  return socket_bytes_[static_cast<std::size_t>(n) *
+                           machine_->shape().sockets +
+                       s];
+}
+
+void CostModel::add_transfer(CoreId src, CoreId dst, Bytes bytes) {
+  TARR_REQUIRE(stage_open_, "add_transfer: no open stage");
+  TARR_REQUIRE(src != dst, "add_transfer: src == dst (use local_copy_cost)");
+  TARR_REQUIRE(bytes >= 0, "add_transfer: negative byte count");
+  pending_.push_back(Pending{src, dst, bytes});
+  if (!cfg_.model_contention) return;
+
+  const auto& m = *machine_;
+  const NodeId na = m.node_of_core(src);
+  const NodeId nb = m.node_of_core(dst);
+  const double b = static_cast<double>(bytes);
+  if (na == nb) {
+    const SocketId sa = m.socket_of_core(src);
+    const SocketId sb = m.socket_of_core(dst);
+    auto touch_socket = [&](SocketId s, double load) {
+      double& slot = socket_load(na, s);
+      if (slot == 0.0)
+        touched_sockets_.push_back(na * m.shape().sockets + s);
+      slot += load;
+    };
+    if (sa == sb) {
+      touch_socket(sa, b);  // full copy served by one memory subsystem
+    } else {
+      touch_socket(sa, 0.5 * b);  // read side
+      touch_socket(sb, 0.5 * b);  // write side
+      const int dir = sa < sb ? 0 : 1;
+      if (qpi_load(na, dir) == 0.0) touched_qpi_.push_back(na * 2 + dir);
+      qpi_load(na, dir) += b;
+    }
+    return;
+  }
+  const auto& net = m.network();
+  NetVertexId at = net.host_vertex(na);
+  for (LinkId l : m.router().path(na, nb)) {
+    const int dir = net.link(l).a == at ? 0 : 1;
+    if (link_load(l, dir) == 0.0) touched_links_.push_back(l * 2 + dir);
+    link_load(l, dir) += b;
+    at = net.other_end(l, at);
+  }
+}
+
+Usec CostModel::finish_stage() {
+  TARR_REQUIRE(stage_open_, "finish_stage: no open stage");
+  const auto& m = *machine_;
+  const auto& net = m.network();
+
+  Usec stage = 0.0;
+  for (const Pending& t : pending_) {
+    const NodeId na = m.node_of_core(t.src);
+    const NodeId nb = m.node_of_core(t.dst);
+    const double own = static_cast<double>(t.bytes);
+    Usec cost;
+    if (na == nb) {
+      const SocketId sa = m.socket_of_core(t.src);
+      const SocketId sb = m.socket_of_core(t.dst);
+      // Per-pair floor; contention can only slow a transfer down from it.
+      double bw_time = own * cfg_.beta_shm_pair;
+      if (sa == sb) {
+        const bool same_complex =
+            m.complex_of_core(t.src) == m.complex_of_core(t.dst);
+        if (same_complex) bw_time = own * cfg_.beta_shm_complex_pair;
+        if (cfg_.model_contention) {
+          bw_time = std::max(bw_time,
+                             socket_load(na, sa) * cfg_.beta_mem_socket);
+        }
+        cost = (same_complex ? cfg_.alpha_shm_complex
+                             : cfg_.alpha_shm_socket) +
+               bw_time;
+      } else {
+        if (cfg_.model_contention) {
+          const double mem =
+              std::max(socket_load(na, sa), socket_load(na, sb));
+          const double qpi = qpi_load(na, sa < sb ? 0 : 1);
+          bw_time = std::max({bw_time, mem * cfg_.beta_mem_socket,
+                              qpi * cfg_.beta_qpi});
+        }
+        cost = cfg_.alpha_shm_cross + bw_time;
+      }
+    } else {
+      const auto path = m.router().path(na, nb);
+      double bottleneck = own;
+      if (cfg_.model_contention) {
+        NetVertexId at = net.host_vertex(na);
+        for (LinkId l : path) {
+          const int dir = net.link(l).a == at ? 0 : 1;
+          bottleneck = std::max(
+              bottleneck, link_load(l, dir) / net.link(l).capacity);
+          at = net.other_end(l, at);
+        }
+      }
+      cost = cfg_.alpha_net +
+             cfg_.alpha_hop * static_cast<double>(path.size()) +
+             bottleneck * cfg_.beta_net;
+    }
+    stage = std::max(stage, cost);
+  }
+
+  last_stats_ = StageStats{};
+  last_stats_.transfers = static_cast<int>(pending_.size());
+  for (int idx : touched_links_) {
+    const auto& link = net.link(idx / 2);
+    last_stats_.max_link_bytes = std::max(
+        last_stats_.max_link_bytes, link_bytes_[idx] / link.capacity);
+  }
+  for (int idx : touched_qpi_)
+    last_stats_.max_qpi_bytes =
+        std::max(last_stats_.max_qpi_bytes, qpi_bytes_[idx]);
+
+  pending_.clear();
+  for (int idx : touched_links_) link_bytes_[idx] = 0.0;
+  for (int idx : touched_qpi_) qpi_bytes_[idx] = 0.0;
+  for (int idx : touched_sockets_) socket_bytes_[idx] = 0.0;
+  touched_links_.clear();
+  touched_qpi_.clear();
+  touched_sockets_.clear();
+  stage_open_ = false;
+  return stage;
+}
+
+Usec CostModel::local_copy_cost(Bytes bytes) const {
+  if (bytes <= 0) return 0.0;
+  return cfg_.alpha_mem + static_cast<double>(bytes) * cfg_.beta_mem;
+}
+
+}  // namespace tarr::simmpi

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <vector>
+
+#include "simmpi/communicator.hpp"
+#include "topology/machine.hpp"
+
+/// \file costmodel.hpp
+/// Contention-aware communication cost model.
+///
+/// Transfers are charged per communication channel class, mirroring the
+/// heterogeneity the paper exploits:
+///   * intra node  — shared-memory copies bounded by each socket's memory
+///                   bandwidth (a same-socket copy loads its socket with
+///                   read+write traffic; a cross-socket copy loads both
+///                   sockets and additionally the per-direction QPI link);
+///   * inter node  — network, alpha + per-switch-hop latency + bytes over
+///                   the bottleneck link's *aggregate* stage load divided by
+///                   link capacity (this produces the 5:1-blocking
+///                   congestion effects of Figs 3-4).
+///
+/// The model is stage-synchronous: transfers submitted between begin_stage()
+/// and finish_stage() are considered concurrent, and the stage costs the
+/// slowest of them.
+
+namespace tarr::simmpi {
+
+/// Channel parameters.  Units: microseconds and bytes (beta = us per byte).
+struct CostConfig {
+  double alpha_shm_socket = 0.3;     ///< same-socket latency
+  double alpha_shm_cross = 0.6;      ///< cross-socket (QPI) latency
+
+  /// Same-L3-complex channel (deep NodeShapes): latency and per-pair copy
+  /// rate.  Defaults equal the socket class, so flat-socket machines (the
+  /// paper's) are unaffected; deep-SMP studies can set a faster shared-L3
+  /// path (see bench/ext_bigsmp).
+  double alpha_shm_complex = 0.3;
+  double beta_shm_complex_pair = 1.0 / 6500.0;
+
+  /// Peak point-to-point shared-memory copy rate of one process pair
+  /// (~6.5 GB/s), the per-transfer floor for both intra-node classes: on the
+  /// paper's machine a lone cross-socket copy streams about as fast as a
+  /// lone same-socket copy (both are memory-bound; QPI has headroom).
+  double beta_shm_pair = 1.0 / 6500.0;
+
+  /// Per-socket memory-subsystem service rate (~6.5 GB/s of copy traffic).
+  /// A same-socket transfer loads its socket with its full byte count; a
+  /// cross-socket transfer loads each of the two sockets with half (read on
+  /// one side, write on the other).
+  double beta_mem_socket = 1.0 / 6500.0;
+
+  /// QPI per-direction bandwidth (~12.8 GB/s on the paper's QPI 6.4 GT/s
+  /// nodes), shared by the cross-socket transfers of a node.
+  double beta_qpi = 1.0 / 12800.0;
+
+  double alpha_net = 1.8;            ///< network injection latency
+  double alpha_hop = 0.1;            ///< per switch-to-switch hop
+  double beta_net = 1.0 / 3200.0;    ///< per-cable QDR IB bandwidth
+
+  double alpha_mem = 0.2;            ///< local memcpy latency
+  double beta_mem = 1.0 / 6500.0;    ///< local memcpy bandwidth
+
+  /// When false, transfers never share bandwidth (hop-count-only model —
+  /// the ablation knob of bench/abl_contention).
+  bool model_contention = true;
+};
+
+/// Stage-synchronous cost evaluator bound to one machine.
+class CostModel {
+ public:
+  CostModel(const topology::Machine& m, const CostConfig& cfg);
+
+  /// Start a new set of concurrent transfers.
+  void begin_stage();
+
+  /// Submit one transfer between cores (src != dst) of `bytes` bytes.
+  void add_transfer(CoreId src, CoreId dst, Bytes bytes);
+
+  /// Close the stage: returns its cost (max over the submitted transfers,
+  /// with contention applied).  Resets for the next stage.
+  Usec finish_stage();
+
+  /// Congestion introspection for the stage most recently finished.
+  struct StageStats {
+    int transfers = 0;            ///< transfers submitted
+    double max_link_bytes = 0.0;  ///< peak directed per-cable network load
+    double max_qpi_bytes = 0.0;   ///< peak per-direction QPI load
+  };
+  const StageStats& last_stage_stats() const { return last_stats_; }
+
+  /// Cost of a node-local memory copy of `bytes` bytes.
+  Usec local_copy_cost(Bytes bytes) const;
+
+  const CostConfig& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    CoreId src;
+    CoreId dst;
+    Bytes bytes;
+  };
+
+  double& link_load(LinkId l, int dir);
+  double& qpi_load(NodeId n, int dir);
+  double& socket_load(NodeId n, SocketId s);
+
+  const topology::Machine* machine_;
+  CostConfig cfg_;
+  std::vector<Pending> pending_;
+  /// Directed per-link byte loads (2 slots per link), per-direction QPI
+  /// loads, per-socket memory loads, and their touched sets for O(stage)
+  /// clearing.
+  std::vector<double> link_bytes_;
+  std::vector<double> qpi_bytes_;
+  std::vector<double> socket_bytes_;
+  std::vector<int> touched_links_;
+  std::vector<int> touched_qpi_;
+  std::vector<int> touched_sockets_;
+  StageStats last_stats_;
+  bool stage_open_ = false;
+};
+
+}  // namespace tarr::simmpi

@@ -1,0 +1,148 @@
+#include "simmpi/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/permutation.hpp"
+
+namespace tarr::simmpi {
+
+Engine::Engine(const Communicator& comm, const CostConfig& cfg, ExecMode mode,
+               Bytes block_bytes, int buf_blocks)
+    : comm_(&comm),
+      cost_(comm.machine(), cfg),
+      mode_(mode),
+      block_bytes_(block_bytes),
+      buf_blocks_(buf_blocks) {
+  TARR_REQUIRE(block_bytes >= 1, "Engine: block_bytes must be >= 1");
+  TARR_REQUIRE(buf_blocks >= 1, "Engine: buf_blocks must be >= 1");
+  if (mode_ == ExecMode::Data) {
+    buf_.assign(comm.size(),
+                std::vector<std::uint32_t>(buf_blocks, kEmptyTag));
+  }
+  local_bytes_per_rank_scratch_.assign(comm.size(), 0.0);
+}
+
+void Engine::set_block(Rank r, int off, std::uint32_t tag) {
+  if (mode_ != ExecMode::Data) return;
+  TARR_REQUIRE(r >= 0 && r < comm_->size(), "set_block: rank out of range");
+  TARR_REQUIRE(off >= 0 && off < buf_blocks_, "set_block: offset out of range");
+  buf_[r][off] = tag;
+}
+
+std::uint32_t Engine::block(Rank r, int off) const {
+  TARR_REQUIRE(mode_ == ExecMode::Data, "block: only valid in Data mode");
+  TARR_REQUIRE(r >= 0 && r < comm_->size(), "block: rank out of range");
+  TARR_REQUIRE(off >= 0 && off < buf_blocks_, "block: offset out of range");
+  return buf_[r][off];
+}
+
+void Engine::begin_stage() {
+  TARR_REQUIRE(!stage_open_, "begin_stage: previous stage still open");
+  stage_open_ = true;
+  cost_.begin_stage();
+}
+
+void Engine::copy(Rank src, int src_off, Rank dst, int dst_off, int nblocks) {
+  enqueue(src, src_off, dst, dst_off, nblocks, /*combining=*/false);
+}
+
+void Engine::combine(Rank src, int src_off, Rank dst, int dst_off,
+                     int nblocks) {
+  enqueue(src, src_off, dst, dst_off, nblocks, /*combining=*/true);
+}
+
+void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
+                     int nblocks, bool combining) {
+  TARR_REQUIRE(stage_open_, "copy: no open stage");
+  TARR_REQUIRE(src >= 0 && src < comm_->size() && dst >= 0 &&
+                   dst < comm_->size(),
+               "copy: rank out of range");
+  TARR_REQUIRE(nblocks >= 1, "copy: nblocks must be >= 1");
+  TARR_REQUIRE(src_off >= 0 && src_off + nblocks <= buf_blocks_,
+               "copy: source range out of buffer");
+  TARR_REQUIRE(dst_off >= 0 && dst_off + nblocks <= buf_blocks_,
+               "copy: destination range out of buffer");
+
+  const Bytes bytes = static_cast<Bytes>(nblocks) * block_bytes_;
+  if (src == dst) {
+    local_bytes_per_rank_scratch_[src] += static_cast<double>(bytes);
+  } else {
+    cost_.add_transfer(comm_->core_of(src), comm_->core_of(dst), bytes);
+    if (transfer_observer_)
+      transfer_observer_(comm_->core_of(src), comm_->core_of(dst), bytes);
+  }
+
+  PendingCopy pc{src, dst, src_off, dst_off, nblocks, combining, {}};
+  if (mode_ == ExecMode::Data) {
+    // Capture the pre-stage payload now; all mutations happen in end_stage.
+    pc.payload.assign(buf_[src].begin() + src_off,
+                      buf_[src].begin() + src_off + nblocks);
+  }
+  pending_.push_back(std::move(pc));
+}
+
+Usec Engine::end_stage() {
+  TARR_REQUIRE(stage_open_, "end_stage: no open stage");
+  Usec stage = cost_.finish_stage();
+  for (Rank r = 0; r < comm_->size(); ++r) {
+    if (local_bytes_per_rank_scratch_[r] > 0.0) {
+      stage = std::max(stage, cost_.local_copy_cost(static_cast<Bytes>(
+                                  local_bytes_per_rank_scratch_[r])));
+      local_bytes_per_rank_scratch_[r] = 0.0;
+    }
+  }
+  if (mode_ == ExecMode::Data) {
+    for (const PendingCopy& pc : pending_) {
+      if (pc.combining) {
+        for (int k = 0; k < pc.nblocks; ++k)
+          buf_[pc.dst][pc.dst_off + k] ^= pc.payload[k];
+      } else {
+        std::copy(pc.payload.begin(), pc.payload.end(),
+                  buf_[pc.dst].begin() + pc.dst_off);
+      }
+    }
+  }
+  const int transfers = static_cast<int>(pending_.size());
+  pending_.clear();
+  stage_open_ = false;
+  last_stage_cost_ = stage;
+  total_ += stage;
+  peak_link_bytes_ =
+      std::max(peak_link_bytes_, cost_.last_stage_stats().max_link_bytes);
+  if (observer_) observer_(stages_executed_, transfers, stage);
+  ++stages_executed_;
+  return stage;
+}
+
+void Engine::repeat_last_stage(int extra) {
+  TARR_REQUIRE(!stage_open_, "repeat_last_stage: stage still open");
+  TARR_REQUIRE(mode_ == ExecMode::Timed,
+               "repeat_last_stage: only valid in Timed mode");
+  TARR_REQUIRE(extra >= 0, "repeat_last_stage: negative repeat count");
+  total_ += last_stage_cost_ * static_cast<double>(extra);
+}
+
+void Engine::local_permute_all(const std::vector<int>& dst_of_block) {
+  TARR_REQUIRE(!stage_open_, "local_permute_all: stage still open");
+  TARR_REQUIRE(static_cast<int>(dst_of_block.size()) == buf_blocks_,
+               "local_permute_all: permutation size mismatch");
+  TARR_REQUIRE(is_permutation_of_iota(dst_of_block),
+               "local_permute_all: not a permutation");
+
+  int moved = 0;
+  for (int b = 0; b < buf_blocks_; ++b)
+    if (dst_of_block[b] != b) ++moved;
+  if (moved == 0) return;
+
+  if (mode_ == ExecMode::Data) {
+    std::vector<std::uint32_t> tmp(buf_blocks_);
+    for (auto& buf : buf_) {
+      for (int b = 0; b < buf_blocks_; ++b) tmp[dst_of_block[b]] = buf[b];
+      buf = tmp;
+    }
+  }
+  total_ += cost_.local_copy_cost(static_cast<Bytes>(moved) * block_bytes_);
+}
+
+}  // namespace tarr::simmpi

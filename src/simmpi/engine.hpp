@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simmpi/communicator.hpp"
+#include "simmpi/costmodel.hpp"
+
+/// \file engine.hpp
+/// Stage-synchronous execution engine for collective schedules.
+///
+/// Collectives drive the engine imperatively: begin_stage(), a batch of
+/// copy() calls describing every transfer that happens concurrently in that
+/// algorithm stage, end_stage().  The engine supports two modes:
+///
+///  * Timed — no payload is moved; each stage is priced by the contention-
+///    aware CostModel.  Used by the benchmarks at the paper's 4096-process
+///    scale.
+///  * Data — every process owns a block buffer and copies genuinely move
+///    block *tags* between buffers with simultaneous-exchange semantics
+///    (all reads in a stage observe the pre-stage state).  Used by the test
+///    suite to verify algorithm correctness and the §V-B output-order
+///    mechanisms end to end.  Time is accounted identically in both modes.
+///
+/// A "block" is the natural data unit of the collective (for allgather: one
+/// rank's contribution of block_bytes bytes).
+
+namespace tarr::simmpi {
+
+/// Execution mode of an Engine.
+enum class ExecMode { Timed, Data };
+
+/// Tag value of an untouched block.
+inline constexpr std::uint32_t kEmptyTag = 0xffffffffu;
+
+/// See file comment.
+class Engine {
+ public:
+  /// `buf_blocks` is the per-process buffer length in blocks; `block_bytes`
+  /// the payload size of one block.  The communicator must outlive the
+  /// engine.
+  Engine(const Communicator& comm, const CostConfig& cfg, ExecMode mode,
+         Bytes block_bytes, int buf_blocks);
+
+  const Communicator& comm() const { return *comm_; }
+  ExecMode mode() const { return mode_; }
+  Bytes block_bytes() const { return block_bytes_; }
+  int buf_blocks() const { return buf_blocks_; }
+
+  /// Write a tag into a block of a rank's buffer (Data mode; no-op in Timed).
+  void set_block(Rank r, int off, std::uint32_t tag);
+
+  /// Read a block tag (Data mode only).
+  std::uint32_t block(Rank r, int off) const;
+
+  /// Open a stage of concurrent transfers.
+  void begin_stage();
+
+  /// Copy `nblocks` blocks from src's buffer at src_off to dst's buffer at
+  /// dst_off.  src == dst performs (and prices) a local memory copy.  All
+  /// copies of a stage read pre-stage buffer contents.
+  void copy(Rank src, int src_off, Rank dst, int dst_off, int nblocks);
+
+  /// Like copy(), but the destination blocks are *combined* (XOR of tags —
+  /// a commutative, associative stand-in for an MPI reduction op) with the
+  /// incoming payload instead of overwritten.  Pricing is identical to
+  /// copy().  Used by the allreduce extension.
+  void combine(Rank src, int src_off, Rank dst, int dst_off, int nblocks);
+
+  /// Close the stage: price it, apply the data moves, add to total.
+  /// Returns the stage cost.
+  Usec end_stage();
+
+  /// Account `extra` additional executions of the stage just ended (Timed
+  /// mode only — used to compress the ring's p-1 identical stages).
+  void repeat_last_stage(int extra);
+
+  /// Apply the same block permutation to every rank's buffer
+  /// (new[dst_of_block[b]] = old[b]) and charge one concurrent local-shuffle
+  /// cost for the blocks that actually move.  This is §V-B "memory shuffling
+  /// at the end".
+  void local_permute_all(const std::vector<int>& dst_of_block);
+
+  /// Add raw simulated time (used by the application model for compute
+  /// phases and by callers that account one-time overheads).
+  void add_time(Usec t) { total_ += t; }
+
+  /// Total simulated time so far.
+  Usec total() const { return total_; }
+
+  /// Congestion statistics of the stage most recently ended.
+  const CostModel::StageStats& last_stage_stats() const {
+    return cost_.last_stage_stats();
+  }
+
+  /// Peak per-cable network link load (bytes) seen in any stage so far.
+  double peak_link_bytes() const { return peak_link_bytes_; }
+
+  /// Schedule introspection: invoked after every end_stage() with the
+  /// 0-based stage index, the number of transfers the stage carried, and
+  /// its cost.  Used by tests and tools to inspect the schedules the
+  /// collective algorithms emit.
+  using StageObserver = std::function<void(int stage, int transfers, Usec cost)>;
+  void set_stage_observer(StageObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Number of stages executed so far.
+  int stages_executed() const { return stages_executed_; }
+
+  /// Transfer introspection: invoked for every copy()/combine() between
+  /// distinct ranks, with the endpoint cores and the byte count.  Local
+  /// copies (src == dst) are not reported.  Used by property tests (e.g.
+  /// data-conservation invariants) and analysis tools.
+  using TransferObserver =
+      std::function<void(CoreId src, CoreId dst, Bytes bytes)>;
+  void set_transfer_observer(TransferObserver observer) {
+    transfer_observer_ = std::move(observer);
+  }
+
+ private:
+  struct PendingCopy {
+    Rank src, dst;
+    int src_off, dst_off, nblocks;
+    bool combining;
+    std::vector<std::uint32_t> payload;  // captured at copy() time (Data)
+  };
+
+  void enqueue(Rank src, int src_off, Rank dst, int dst_off, int nblocks,
+               bool combining);
+
+  const Communicator* comm_;
+  CostModel cost_;
+  ExecMode mode_;
+  Bytes block_bytes_;
+  int buf_blocks_;
+  std::vector<std::vector<std::uint32_t>> buf_;  // Data mode only
+  std::vector<PendingCopy> pending_;
+  std::vector<Usec> local_bytes_per_rank_scratch_;
+  bool stage_open_ = false;
+  Usec last_stage_cost_ = 0.0;
+  Usec total_ = 0.0;
+  double peak_link_bytes_ = 0.0;
+  int stages_executed_ = 0;
+  StageObserver observer_;
+  TransferObserver transfer_observer_;
+};
+
+}  // namespace tarr::simmpi

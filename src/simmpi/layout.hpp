@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/machine.hpp"
+
+/// \file layout.hpp
+/// Initial process-to-core layouts.
+///
+/// The paper evaluates four well-known initial mappings produced by resource
+/// managers (SLURM/Hydra options): the node-level policy is *block* (fill a
+/// node before moving on) or *cyclic* (round-robin ranks over nodes), and the
+/// socket-level policy inside each node is *bunch* (fill a socket first) or
+/// *scatter* (round-robin over sockets).
+
+namespace tarr::simmpi {
+
+/// Distribution of consecutive ranks across nodes.
+enum class NodeOrder { Block, Cyclic };
+
+/// Binding of a node's ranks to its sockets.
+enum class SocketOrder { Bunch, Scatter };
+
+/// A (node policy, socket policy) pair, e.g. block-bunch.
+struct LayoutSpec {
+  NodeOrder node = NodeOrder::Block;
+  SocketOrder socket = SocketOrder::Bunch;
+};
+
+/// "block-bunch", "cyclic-scatter", ...
+std::string to_string(const LayoutSpec& spec);
+
+/// Parse a resource-manager distribution spec into a LayoutSpec.  Accepts
+/// both this library's names ("block-bunch", "cyclic-scatter", ...) and
+/// SLURM's --distribution syntax ("block:block", "cyclic:cyclic", ...),
+/// where SLURM's second level "block" binds consecutive ranks to one socket
+/// (= bunch) and "cyclic" round-robins sockets (= scatter).  Throws
+/// tarr::Error on anything else.
+LayoutSpec parse_layout_spec(const std::string& s);
+
+/// The paper's four initial mappings, in figure order (3a..3d).
+std::vector<LayoutSpec> all_layouts();
+
+/// Compute the rank -> global core mapping for `p` processes on `m`.
+/// Requires p <= m.total_cores().  Uses ceil(p / cores_per_node) nodes; with
+/// NodeOrder::Cyclic the ranks round-robin over exactly those nodes.
+std::vector<CoreId> make_layout(const topology::Machine& m, int p,
+                                const LayoutSpec& spec);
+
+}  // namespace tarr::simmpi

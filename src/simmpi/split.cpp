@@ -1,0 +1,62 @@
+#include "simmpi/split.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace tarr::simmpi {
+
+SplitResult split_by_color(const Communicator& comm,
+                           const std::vector<int>& colors) {
+  TARR_REQUIRE(static_cast<int>(colors.size()) == comm.size(),
+               "split_by_color: one color per rank required");
+  std::map<int, std::vector<Rank>> groups;
+  for (Rank r = 0; r < comm.size(); ++r) {
+    TARR_REQUIRE(colors[r] >= 0, "split_by_color: colors must be >= 0");
+    groups[colors[r]].push_back(r);
+  }
+
+  SplitResult res;
+  res.comm_of_rank.assign(comm.size(), -1);
+  res.rank_in_comm.assign(comm.size(), kNoRank);
+  res.comms.reserve(groups.size());
+  int idx = 0;
+  for (const auto& [color, ranks] : groups) {
+    std::vector<CoreId> cores;
+    cores.reserve(ranks.size());
+    for (Rank r : ranks) {
+      res.comm_of_rank[r] = idx;
+      res.rank_in_comm[r] = static_cast<Rank>(cores.size());
+      cores.push_back(comm.core_of(r));
+    }
+    res.comms.emplace_back(comm.machine(), std::move(cores));
+    ++idx;
+  }
+  return res;
+}
+
+SplitResult split_by_node(const Communicator& comm) {
+  std::vector<int> colors(comm.size());
+  for (Rank r = 0; r < comm.size(); ++r) colors[r] = comm.node_of(r);
+  return split_by_color(comm, colors);
+}
+
+Communicator leaders_comm(const Communicator& comm) {
+  std::map<NodeId, Rank> leader;  // lowest rank per node
+  for (Rank r = 0; r < comm.size(); ++r) {
+    const NodeId n = comm.node_of(r);
+    auto it = leader.find(n);
+    if (it == leader.end() || r < it->second) leader[n] = r;
+  }
+  std::vector<Rank> ranks;
+  ranks.reserve(leader.size());
+  for (const auto& [node, r] : leader) ranks.push_back(r);
+  std::sort(ranks.begin(), ranks.end());
+  std::vector<CoreId> cores;
+  cores.reserve(ranks.size());
+  for (Rank r : ranks) cores.push_back(comm.core_of(r));
+  return Communicator(comm.machine(), std::move(cores));
+}
+
+}  // namespace tarr::simmpi

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "simmpi/communicator.hpp"
+
+/// \file split.hpp
+/// MPI_Comm_split-style sub-communicator construction.  The hierarchical
+/// collectives operate on rank groups internally; this module exposes the
+/// same notion as a public API so applications can build node-local and
+/// leader communicators explicitly (the paper's phase-1/2/3 structure).
+
+namespace tarr::simmpi {
+
+/// Result of a split: one communicator per color, plus where each parent
+/// rank landed.
+struct SplitResult {
+  /// Sub-communicators in ascending color order.
+  std::vector<Communicator> comms;
+  /// For each parent rank: index into `comms`.
+  std::vector<int> comm_of_rank;
+  /// For each parent rank: its rank within its sub-communicator.
+  std::vector<Rank> rank_in_comm;
+};
+
+/// Split `comm` by color (MPI_Comm_split with key = parent rank): ranks
+/// with equal color form one sub-communicator, ordered by parent rank.
+/// Colors may be any non-negative integers; every rank must have one.
+SplitResult split_by_color(const Communicator& comm,
+                           const std::vector<int>& colors);
+
+/// Split into per-node communicators (color = hosting node).
+SplitResult split_by_node(const Communicator& comm);
+
+/// The leader communicator: the lowest rank of each node, ordered by
+/// parent rank (the paper's phase-2 participants).
+Communicator leaders_comm(const Communicator& comm);
+
+}  // namespace tarr::simmpi

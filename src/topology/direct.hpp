@@ -1,0 +1,40 @@
+#pragma once
+
+#include <array>
+
+#include "topology/network.hpp"
+
+/// \file direct.hpp
+/// Direct-network builders beyond the paper's fat-tree: 3D torus (Blue
+/// Gene / Cray style) and dragonfly.  Both reuse the generic SwitchGraph /
+/// Router machinery — every node owns a router vertex, and routing remains
+/// deterministic shortest-path with destination-based spreading.  These
+/// support the "other systems" direction of the paper's related work
+/// (e.g., Bhatele et al.'s mesh mapping) and the cross-topology ablation.
+
+namespace tarr::topology {
+
+/// Build an X x Y x Z torus: one router per node, wrap-around links in each
+/// dimension, host attached to its router.  Any dimension may be 1 (mesh
+/// degenerates gracefully; a dimension of 2 gets a single link, not a
+/// double link).
+SwitchGraph build_torus_network(int x, int y, int z);
+
+/// Parameters of a canonical dragonfly(a, p, h) network.
+struct DragonflyConfig {
+  int groups = 9;             ///< g groups
+  int routers_per_group = 4;  ///< a routers per group (fully connected)
+  int hosts_per_router = 2;   ///< p hosts per router
+  /// Global links per router (h); the g*(g-1)/2 group pairs are distributed
+  /// round-robin over the a*h global ports of each group.  Requires
+  /// groups - 1 <= routers_per_group * global_per_router.
+  int global_per_router = 2;
+};
+
+/// Build a dragonfly network with `num_nodes` hosts attached (num_nodes <=
+/// groups * routers_per_group * hosts_per_router), filling routers in
+/// order.
+SwitchGraph build_dragonfly_network(int num_nodes,
+                                    const DragonflyConfig& cfg = DragonflyConfig{});
+
+}  // namespace tarr::topology

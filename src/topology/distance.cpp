@@ -1,0 +1,128 @@
+#include "topology/distance.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tarr::topology {
+
+namespace {
+
+/// Magic header of the on-disk distance-matrix format.
+constexpr std::uint32_t kDistanceFileMagic = 0x74615244u;  // "DRat"
+constexpr std::uint32_t kDistanceFileVersion = 1;
+
+/// Weight of one intra-node locality level under a config.
+float intra_weight(const DistanceConfig& cfg, IntraLevel level) {
+  switch (level) {
+    case IntraLevel::SameCore:
+      return cfg.same_core;
+    case IntraLevel::SameComplex:
+      return cfg.same_socket;
+    case IntraLevel::CrossComplex:
+      return cfg.cross_complex;
+    case IntraLevel::CrossSocket:
+      return cfg.cross_socket;
+  }
+  return cfg.cross_socket;
+}
+
+}  // namespace
+
+DistanceMatrix::DistanceMatrix(int n, float fill)
+    : n_(n), d_(static_cast<std::size_t>(n) * n, fill) {
+  TARR_REQUIRE(n >= 1, "DistanceMatrix: size must be >= 1");
+}
+
+void DistanceMatrix::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TARR_REQUIRE(out.good(), "DistanceMatrix::save: cannot open " + path);
+  const std::uint32_t header[3] = {kDistanceFileMagic, kDistanceFileVersion,
+                                   static_cast<std::uint32_t>(n_)};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(d_.data()),
+            static_cast<std::streamsize>(d_.size() * sizeof(float)));
+  TARR_REQUIRE(out.good(), "DistanceMatrix::save: write failed for " + path);
+}
+
+DistanceMatrix DistanceMatrix::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TARR_REQUIRE(in.good(), "DistanceMatrix::load: cannot open " + path);
+  std::uint32_t header[3] = {};
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  TARR_REQUIRE(in.good() && header[0] == kDistanceFileMagic,
+               "DistanceMatrix::load: not a distance-matrix file: " + path);
+  TARR_REQUIRE(header[1] == kDistanceFileVersion,
+               "DistanceMatrix::load: unsupported version in " + path);
+  const int n = static_cast<int>(header[2]);
+  TARR_REQUIRE(n >= 1, "DistanceMatrix::load: corrupt size in " + path);
+  DistanceMatrix d(n);
+  in.read(reinterpret_cast<char*>(d.d_.data()),
+          static_cast<std::streamsize>(d.d_.size() * sizeof(float)));
+  TARR_REQUIRE(in.gcount() ==
+                   static_cast<std::streamsize>(d.d_.size() * sizeof(float)),
+               "DistanceMatrix::load: truncated file " + path);
+  return d;
+}
+
+DistanceMatrix extract_distances(const Machine& m, const DistanceConfig& cfg) {
+  const int total = m.total_cores();
+  const int cpn = m.cores_per_node();
+  DistanceMatrix d(total);
+
+  // Intra-node block template: identical for every node, computed once.
+  std::vector<float> intra(static_cast<std::size_t>(cpn) * cpn);
+  for (int a = 0; a < cpn; ++a) {
+    for (int b = 0; b < cpn; ++b) {
+      intra[static_cast<std::size_t>(a) * cpn + b] =
+          intra_weight(cfg, intranode_level(m.shape(), a, b));
+    }
+  }
+
+  const Router& router = m.router();
+  for (NodeId na = 0; na < m.num_nodes(); ++na) {
+    for (NodeId nb = na; nb < m.num_nodes(); ++nb) {
+      if (na == nb) {
+        for (int a = 0; a < cpn; ++a)
+          for (int b = 0; b < cpn; ++b)
+            d.set(m.core_id(na, a), m.core_id(na, b),
+                  intra[static_cast<std::size_t>(a) * cpn + b]);
+      } else {
+        const float dist =
+            cfg.inter_node_base +
+            cfg.per_hop * static_cast<float>(router.hops(na, nb));
+        for (int a = 0; a < cpn; ++a)
+          for (int b = 0; b < cpn; ++b)
+            d.set(m.core_id(na, a), m.core_id(nb, b), dist);
+      }
+    }
+  }
+  return d;
+}
+
+DistanceMatrix extract_node_distances(const Machine& m,
+                                      const DistanceConfig& cfg) {
+  DistanceMatrix d(m.num_nodes());
+  const Router& router = m.router();
+  for (NodeId a = 0; a < m.num_nodes(); ++a)
+    for (NodeId b = a + 1; b < m.num_nodes(); ++b)
+      d.set(a, b,
+            cfg.inter_node_base +
+                cfg.per_hop * static_cast<float>(router.hops(a, b)));
+  return d;
+}
+
+DistanceMatrix extract_intranode_distances(const Machine& m,
+                                           const DistanceConfig& cfg) {
+  const int cpn = m.cores_per_node();
+  DistanceMatrix d(cpn);
+  for (int a = 0; a < cpn; ++a) {
+    for (int b = a + 1; b < cpn; ++b) {
+      d.set(a, b, intra_weight(cfg, intranode_level(m.shape(), a, b)));
+    }
+  }
+  return d;
+}
+
+}  // namespace tarr::topology

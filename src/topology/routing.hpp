@@ -1,0 +1,47 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/network.hpp"
+
+/// \file routing.hpp
+/// Deterministic destination-based routing over a SwitchGraph, modeling the
+/// static LFT routing of InfiniBand fabrics.
+///
+/// For every (src node, dst node) pair the router selects one shortest path.
+/// At each hop, the outgoing link is chosen among the shortest-path
+/// candidates by a deterministic function of (destination, current switch) —
+/// the same flavor of spreading as D-mod-K / ftree routing: traffic to
+/// different destinations fans out across parallel uplinks, while all traffic
+/// to one destination follows a fixed path (so two flows to the same place
+/// genuinely contend, which is what produces the paper's congestion effects).
+
+namespace tarr::topology {
+
+/// Precomputed all-pairs single-path routes between host endpoints.
+class Router {
+ public:
+  /// Builds routes for every ordered pair of hosts in `g`.  The graph must be
+  /// connected across all hosts.  The referenced graph must outlive the
+  /// router.
+  explicit Router(const SwitchGraph& g);
+
+  /// The sequence of links from host(src) to host(dst); empty iff src == dst.
+  std::span<const LinkId> path(NodeId src, NodeId dst) const;
+
+  /// Number of links on the route (0 iff src == dst).
+  int hops(NodeId src, NodeId dst) const;
+
+  /// The network this router was built for.
+  const SwitchGraph& graph() const { return *graph_; }
+
+ private:
+  const SwitchGraph* graph_;
+  int num_hosts_;
+  /// Flattened storage: paths_[offset_[src*H+dst] .. offset_[src*H+dst+1]).
+  std::vector<int> offset_;
+  std::vector<LinkId> links_;
+};
+
+}  // namespace tarr::topology

@@ -1,0 +1,104 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "simmpi/layout.hpp"
+
+namespace tarr::core {
+namespace {
+
+using collectives::OrderFix;
+using simmpi::Communicator;
+using simmpi::LayoutSpec;
+using simmpi::make_layout;
+using topology::Machine;
+
+struct World {
+  Machine machine;
+  ReorderFramework framework;
+  explicit World(int nodes)
+      : machine(Machine::gpc(nodes)), framework(machine) {}
+  Communicator comm(int p, LayoutSpec spec = LayoutSpec{}) {
+    return Communicator(machine, make_layout(machine, p, spec));
+  }
+};
+
+std::vector<Bytes> probes() {
+  return {64, 1024, 16 * 1024, 64 * 1024, 256 * 1024};
+}
+
+TEST(Adaptive, NeverSlowerThanEitherPath) {
+  // The whole point of §VII's adaptive component: per message size it uses
+  // whichever path the probe said is faster.
+  World w(8);
+  const auto comm = w.comm(64, LayoutSpec{});
+  TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::Heuristic;
+  variant.fix = OrderFix::InitComm;
+  AdaptiveAllgather ad(w.framework, comm, variant, probes());
+
+  TopoAllgatherConfig def;
+  def.mapper = MapperKind::None;
+  TopoAllgather d(w.framework, comm, def);
+  TopoAllgather v(w.framework, comm, variant);
+
+  for (Bytes msg : probes()) {
+    const Usec t = ad.latency(msg);
+    EXPECT_LE(t, d.latency(msg) * 1.0001);
+    EXPECT_LE(t, v.latency(msg) * 1.0001);
+  }
+}
+
+TEST(Adaptive, PicksReorderedWhereItWins) {
+  // On a cyclic layout the heuristic wins across the board.
+  World w(8);
+  const auto comm = w.comm(
+      64, LayoutSpec{simmpi::NodeOrder::Cyclic, simmpi::SocketOrder::Bunch});
+  TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::Heuristic;
+  variant.fix = OrderFix::InitComm;
+  AdaptiveAllgather ad(w.framework, comm, variant, probes());
+  EXPECT_TRUE(ad.use_reordered(256 * 1024));
+}
+
+TEST(Adaptive, FallsBackWhereReorderingCannotHelp) {
+  // Block-bunch + ring regime: the default is already optimal, and the
+  // reordered path carries initComm overhead — the adaptive layer must not
+  // pick it.
+  World w(8);
+  const auto comm = w.comm(64, LayoutSpec{});
+  TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::ScotchLike;  // known to degrade here
+  variant.fix = OrderFix::InitComm;
+  AdaptiveAllgather ad(w.framework, comm, variant, probes());
+  EXPECT_FALSE(ad.use_reordered(256 * 1024));
+}
+
+TEST(Adaptive, NearestProbeSelection) {
+  World w(4);
+  const auto comm = w.comm(32, LayoutSpec{});
+  TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::Heuristic;
+  AdaptiveAllgather ad(w.framework, comm, variant, {1024, 64 * 1024});
+  ASSERT_EQ(ad.decisions().size(), 2u);
+  // A query close to a probe uses that probe's decision.
+  EXPECT_EQ(ad.use_reordered(900), ad.decisions()[0]);
+  EXPECT_EQ(ad.use_reordered(70 * 1024), ad.decisions()[1]);
+}
+
+TEST(Adaptive, RequiresVariantMapperAndProbes) {
+  World w(2);
+  const auto comm = w.comm(16, LayoutSpec{});
+  TopoAllgatherConfig none;
+  none.mapper = MapperKind::None;
+  EXPECT_THROW(AdaptiveAllgather(w.framework, comm, none, probes()), Error);
+  TopoAllgatherConfig variant;
+  variant.mapper = MapperKind::Heuristic;
+  EXPECT_THROW(AdaptiveAllgather(w.framework, comm, variant, {}), Error);
+  EXPECT_THROW(AdaptiveAllgather(w.framework, comm, variant, {1024, 64}),
+               Error);  // not ascending
+}
+
+}  // namespace
+}  // namespace tarr::core

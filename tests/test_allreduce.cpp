@@ -1,0 +1,111 @@
+#include "collectives/allreduce.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/framework.hpp"
+#include "simmpi/layout.hpp"
+
+namespace tarr::collectives {
+namespace {
+
+using simmpi::Communicator;
+using simmpi::Engine;
+using simmpi::ExecMode;
+using simmpi::LayoutSpec;
+using simmpi::make_layout;
+using topology::Machine;
+
+class AllreduceRd : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceRd, EveryRankHoldsXorOfAllContributions) {
+  const int p = GetParam();
+  const Machine m = Machine::gpc(std::max(1, (p + 7) / 8));
+  if (p > m.total_cores()) GTEST_SKIP();
+  const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
+  Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 256, 1);
+  std::uint32_t expected = 0;
+  for (Rank r = 0; r < p; ++r) {
+    const std::uint32_t tag = 0x1000u + 37u * r;
+    eng.set_block(r, 0, tag);
+    expected ^= tag;
+  }
+  run_allreduce_rd(eng);
+  for (Rank r = 0; r < p; ++r) EXPECT_EQ(eng.block(r, 0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, AllreduceRd,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));
+
+TEST(AllreduceRdErrors, RejectsNonPow2) {
+  const Machine m = Machine::gpc(1);
+  const Communicator comm(m, make_layout(m, 6, LayoutSpec{}));
+  Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 64, 1);
+  EXPECT_THROW(run_allreduce_rd(eng), Error);
+}
+
+class Rabenseifner : public ::testing::TestWithParam<int> {};
+
+TEST_P(Rabenseifner, BlockwiseXorReduction) {
+  const int p = GetParam();
+  const Machine m = Machine::gpc(std::max(1, (p + 7) / 8));
+  if (p > m.total_cores()) GTEST_SKIP();
+  const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
+  Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 64, p);
+  std::vector<std::uint32_t> expected(p, 0);
+  for (Rank r = 0; r < p; ++r) {
+    for (int b = 0; b < p; ++b) {
+      const std::uint32_t tag = 0x10000u + 101u * r + b;
+      eng.set_block(r, b, tag);
+      expected[b] ^= tag;
+    }
+  }
+  run_allreduce_rabenseifner(eng);
+  for (Rank r = 0; r < p; ++r)
+    for (int b = 0; b < p; ++b) EXPECT_EQ(eng.block(r, b), expected[b]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pow2, Rabenseifner,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(AllreduceReordered, RdmhReorderPreservesResult) {
+  // Reductions are order-independent: a reordered communicator needs no
+  // §V-B mechanism and must produce the identical value.
+  const Machine m = Machine::gpc(4);
+  const int p = 32;
+  const Communicator comm(
+      m, make_layout(m, p,
+                     LayoutSpec{simmpi::NodeOrder::Cyclic,
+                                simmpi::SocketOrder::Scatter}));
+  core::ReorderFramework fw(m);
+  const auto rc = fw.reorder(comm, mapping::Pattern::RecursiveDoubling);
+
+  Engine eng(rc.comm, simmpi::CostConfig{}, ExecMode::Data, 128, 1);
+  std::uint32_t expected = 0;
+  for (Rank j = 0; j < p; ++j) {
+    // Contribution is keyed to the *process* (its original rank).
+    const std::uint32_t tag = 7919u * rc.oldrank[j];
+    eng.set_block(j, 0, tag);
+    expected ^= tag;
+  }
+  run_allreduce_rd(eng);
+  for (Rank j = 0; j < p; ++j) EXPECT_EQ(eng.block(j, 0), expected);
+}
+
+TEST(AllreduceCost, RabenseifnerBeatsRdForLargeMessages) {
+  // The bandwidth-optimal algorithm must win at scale for large vectors.
+  const Machine m = Machine::gpc(8);
+  const int p = 64;
+  const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
+  const Bytes msg = 1 << 20;
+
+  Engine rd(comm, simmpi::CostConfig{}, ExecMode::Timed, msg, 1);
+  const Usec t_rd = run_allreduce_rd(rd);
+
+  Engine rab(comm, simmpi::CostConfig{}, ExecMode::Timed, msg / p, p);
+  const Usec t_rab = run_allreduce_rabenseifner(rab);
+  EXPECT_LT(t_rab, t_rd);
+}
+
+}  // namespace
+}  // namespace tarr::collectives

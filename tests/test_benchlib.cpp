@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "bench/appmodel.hpp"
+#include "bench/sweep.hpp"
+#include "common/error.hpp"
+#include "simmpi/layout.hpp"
+
+namespace tarr::bench {
+namespace {
+
+TEST(Sweep, OsuSizesArePowersOfTwo) {
+  const auto sizes = osu_message_sizes();
+  ASSERT_FALSE(sizes.empty());
+  EXPECT_EQ(sizes.front(), 1);
+  EXPECT_EQ(sizes.back(), 256 * 1024);
+  EXPECT_EQ(sizes.size(), 19u);  // 2^0 .. 2^18
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_EQ(sizes[i], 2 * sizes[i - 1]);
+}
+
+TEST(Sweep, CustomRange) {
+  const auto sizes = osu_message_sizes(4, 32);
+  EXPECT_EQ(sizes, (std::vector<Bytes>{4, 8, 16, 32}));
+  EXPECT_THROW(osu_message_sizes(0, 8), Error);
+  EXPECT_THROW(osu_message_sizes(16, 8), Error);
+}
+
+TEST(Sweep, ImprovementPercent) {
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 175.0), -75.0);
+  EXPECT_THROW(improvement_percent(0.0, 1.0), Error);
+}
+
+TEST(AppModel, DefaultTraceMatchesPaperCallCount) {
+  const auto trace = default_app_trace();
+  EXPECT_EQ(trace_calls(trace), 3058);
+  // The mix must exercise both selector regimes.
+  bool has_small = false, has_large = false;
+  for (const auto& e : trace) {
+    if (e.msg < 32 * 1024) has_small = true;
+    if (e.msg >= 32 * 1024) has_large = true;
+  }
+  EXPECT_TRUE(has_small);
+  EXPECT_TRUE(has_large);
+}
+
+TEST(AppModel, CollectiveTimeIsCallWeighted) {
+  const topology::Machine m = topology::Machine::gpc(4);
+  core::ReorderFramework fw(m);
+  const simmpi::Communicator comm(
+      m, simmpi::make_layout(m, 32, simmpi::LayoutSpec{}));
+  core::TopoAllgatherConfig cfg;
+  cfg.mapper = core::MapperKind::None;
+  core::TopoAllgather path(fw, comm, cfg);
+
+  const std::vector<AppTraceEntry> trace{{1024, 10}, {64 * 1024, 5}};
+  const Usec total = app_collective_time(path, trace);
+  const Usec expected =
+      10 * path.latency(1024) + 5 * path.latency(64 * 1024);
+  EXPECT_NEAR(total, expected, 1e-9 * expected);
+}
+
+}  // namespace
+}  // namespace tarr::bench

@@ -1,0 +1,121 @@
+#include "graph/bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "graph/pattern.hpp"
+
+namespace tarr::graph {
+namespace {
+
+std::vector<int> iota_subset(int n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+int side_count(const BisectionResult& r, int side) {
+  int c = 0;
+  for (int s : r.side) c += s == side;
+  return c;
+}
+
+TEST(Bisection, ExactPartSizes) {
+  const WeightedGraph g = ring_pattern(10);
+  Rng rng(1);
+  for (int size0 : {0, 1, 3, 5, 9, 10}) {
+    const auto r = bisect_subset(g, iota_subset(10), size0, rng);
+    EXPECT_EQ(side_count(r, 0), size0);
+    EXPECT_EQ(side_count(r, 1), 10 - size0);
+  }
+}
+
+TEST(Bisection, RingCutIsSmall) {
+  // A balanced bisection of a cycle has an optimal cut of 2 edges; the
+  // heuristic should get close.
+  const WeightedGraph g = ring_pattern(32);
+  Rng rng(7);
+  const auto r = bisect_subset(g, iota_subset(32), 16, rng);
+  // Cut weight in units of the ring edge weight (31 per edge).
+  EXPECT_LE(r.cut, 4 * 31.0);
+}
+
+TEST(Bisection, TwoCliquesSplitPerfectly) {
+  // Two 4-cliques joined by one light edge: the optimal bisection cuts only
+  // the bridge.
+  WeightedGraph g(8);
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j) g.add_edge(base + i, base + j, 10.0);
+  }
+  g.add_edge(0, 4, 1.0);
+  g.finalize();
+  Rng rng(3);
+  const auto r = bisect_subset(g, iota_subset(8), 4, rng);
+  EXPECT_DOUBLE_EQ(r.cut, 1.0);
+  // The two cliques must land on opposite sides.
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(r.side[i], r.side[0]);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(r.side[i], r.side[4]);
+  EXPECT_NE(r.side[0], r.side[4]);
+}
+
+TEST(Bisection, ReportedCutMatchesRecount) {
+  const WeightedGraph g = recursive_doubling_pattern(16);
+  Rng rng(5);
+  const auto subset = iota_subset(16);
+  const auto r = bisect_subset(g, subset, 8, rng);
+  double cut = 0;
+  for (const auto& e : g.edges())
+    if (r.side[e.u] != r.side[e.v]) cut += e.w;
+  EXPECT_DOUBLE_EQ(cut, r.cut);
+}
+
+TEST(Bisection, WorksOnSubsets) {
+  const WeightedGraph g = ring_pattern(12);
+  Rng rng(9);
+  const std::vector<int> subset{2, 3, 4, 5, 8, 9};
+  const auto r = bisect_subset(g, subset, 3, rng);
+  EXPECT_EQ(r.side.size(), subset.size());
+  EXPECT_EQ(side_count(r, 0), 3);
+}
+
+TEST(Bisection, DeterministicGivenSeed) {
+  const WeightedGraph g = recursive_doubling_pattern(32);
+  Rng a(42), b(42);
+  const auto r1 = bisect_subset(g, iota_subset(32), 16, a);
+  const auto r2 = bisect_subset(g, iota_subset(32), 16, b);
+  EXPECT_EQ(r1.side, r2.side);
+  EXPECT_EQ(r1.cut, r2.cut);
+}
+
+TEST(Bisection, DuplicateVertexRejected) {
+  const WeightedGraph g = ring_pattern(4);
+  Rng rng(1);
+  EXPECT_THROW(bisect_subset(g, {0, 0, 1}, 1, rng), Error);
+}
+
+TEST(Bisection, BadSizeRejected) {
+  const WeightedGraph g = ring_pattern(4);
+  Rng rng(1);
+  EXPECT_THROW(bisect_subset(g, iota_subset(4), 5, rng), Error);
+  EXPECT_THROW(bisect_subset(g, iota_subset(4), -1, rng), Error);
+}
+
+class BisectionBalance : public ::testing::TestWithParam<int> {};
+
+TEST_P(BisectionBalance, HalvesOfRdGraph) {
+  const int p = GetParam();
+  const WeightedGraph g = recursive_doubling_pattern(p);
+  Rng rng(11);
+  const auto r = bisect_subset(g, iota_subset(p), p / 2, rng);
+  EXPECT_EQ(side_count(r, 0), p / 2);
+  EXPECT_GT(r.cut, 0.0);  // the hypercube has no zero-cut bisection
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BisectionBalance,
+                         ::testing::Values(4, 8, 16, 64, 256));
+
+}  // namespace
+}  // namespace tarr::graph

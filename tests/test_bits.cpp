@@ -1,0 +1,72 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tarr {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-1));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(1ll << 40));
+  EXPECT_FALSE(is_pow2((1ll << 40) + 1));
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(4), 2);
+  EXPECT_EQ(floor_log2(4095), 11);
+  EXPECT_EQ(floor_log2(4096), 12);
+  EXPECT_THROW(floor_log2(0), Error);
+}
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(4097), 13);
+}
+
+TEST(Bits, FloorCeilPow2) {
+  EXPECT_EQ(floor_pow2(1), 1);
+  EXPECT_EQ(floor_pow2(7), 4);
+  EXPECT_EQ(floor_pow2(8), 8);
+  EXPECT_EQ(floor_pow2(9), 8);
+  EXPECT_EQ(ceil_pow2(1), 1);
+  EXPECT_EQ(ceil_pow2(7), 8);
+  EXPECT_EQ(ceil_pow2(8), 8);
+  EXPECT_EQ(ceil_pow2(9), 16);
+}
+
+class BitsRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsRoundtrip, FloorAndCeilBracketValue) {
+  const std::int64_t x = GetParam();
+  EXPECT_LE(floor_pow2(x), x);
+  EXPECT_GE(ceil_pow2(x), x);
+  EXPECT_TRUE(is_pow2(floor_pow2(x)));
+  EXPECT_TRUE(is_pow2(ceil_pow2(x)));
+  if (is_pow2(x)) {
+    EXPECT_EQ(floor_pow2(x), x);
+    EXPECT_EQ(ceil_pow2(x), x);
+  } else {
+    EXPECT_EQ(2 * floor_pow2(x), ceil_pow2(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, BitsRoundtrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 16, 100, 255,
+                                           256, 257, 1023, 4096, 1000000));
+
+}  // namespace
+}  // namespace tarr

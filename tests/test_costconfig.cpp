@@ -1,0 +1,135 @@
+// Property tests over the cost-model configuration: simulated latencies
+// must respond monotonically to every physical parameter (slower hardware
+// can never make a collective faster), and the calibration identities
+// documented in docs/MODEL.md must hold.
+
+#include <gtest/gtest.h>
+
+#include "collectives/allgather.hpp"
+#include "collectives/hierarchical.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+
+namespace tarr::simmpi {
+namespace {
+
+using topology::Machine;
+
+Usec ring_latency(const Communicator& comm, const CostConfig& cfg,
+                  Bytes msg) {
+  Engine eng(comm, cfg, ExecMode::Timed, msg, comm.size());
+  return collectives::run_allgather(
+      eng, collectives::AllgatherOptions{collectives::AllgatherAlgo::Ring,
+                                         collectives::OrderFix::None});
+}
+
+Usec rd_latency(const Communicator& comm, const CostConfig& cfg, Bytes msg) {
+  Engine eng(comm, cfg, ExecMode::Timed, msg, comm.size());
+  return collectives::run_allgather(
+      eng,
+      collectives::AllgatherOptions{
+          collectives::AllgatherAlgo::RecursiveDoubling,
+          collectives::OrderFix::None});
+}
+
+struct Knob {
+  const char* name;
+  double CostConfig::* field;
+};
+
+class CostKnobs : public ::testing::TestWithParam<int> {
+ protected:
+  static const Knob& knob() {
+    static const Knob knobs[] = {
+        {"alpha_shm_socket", &CostConfig::alpha_shm_socket},
+        {"alpha_shm_cross", &CostConfig::alpha_shm_cross},
+        {"alpha_shm_complex", &CostConfig::alpha_shm_complex},
+        {"beta_shm_pair", &CostConfig::beta_shm_pair},
+        {"beta_shm_complex_pair", &CostConfig::beta_shm_complex_pair},
+        {"beta_mem_socket", &CostConfig::beta_mem_socket},
+        {"beta_qpi", &CostConfig::beta_qpi},
+        {"alpha_net", &CostConfig::alpha_net},
+        {"alpha_hop", &CostConfig::alpha_hop},
+        {"beta_net", &CostConfig::beta_net},
+        {"alpha_mem", &CostConfig::alpha_mem},
+        {"beta_mem", &CostConfig::beta_mem},
+    };
+    return knobs[GetParam()];
+  }
+  public:
+  static constexpr int kNumKnobs = 12;
+};
+
+TEST_P(CostKnobs, SlowerHardwareNeverSpeedsUpCollectives) {
+  const Machine m = Machine::gpc(4);
+  const Communicator block(m, make_layout(m, 32, LayoutSpec{}));
+  const Communicator cyclic(
+      m, make_layout(m, 32,
+                     LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter}));
+
+  CostConfig base;
+  CostConfig slowed = base;
+  slowed.*(knob().field) = (base.*(knob().field)) * 4.0;
+
+  for (const Communicator* comm : {&block, &cyclic}) {
+    for (Bytes msg : {Bytes(64), Bytes(64 * 1024)}) {
+      EXPECT_LE(ring_latency(*comm, base, msg),
+                ring_latency(*comm, slowed, msg) + 1e-9)
+          << knob().name;
+      EXPECT_LE(rd_latency(*comm, base, msg),
+                rd_latency(*comm, slowed, msg) + 1e-9)
+          << knob().name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, CostKnobs,
+                         ::testing::Range(0, CostKnobs::kNumKnobs));
+
+TEST(CostCalibration, QpiMatchesTwoSocketAggregate) {
+  // docs/MODEL.md constraint 2: beta_qpi ~ beta_mem_socket / 2, so a stage
+  // of four same-direction cross-socket copies prices like a stage of four
+  // same-socket-pair copies.
+  const CostConfig cfg;
+  EXPECT_NEAR(cfg.beta_qpi, cfg.beta_mem_socket / 2.0,
+              0.05 * cfg.beta_qpi);
+
+  const Machine m = Machine::gpc(1);
+  const Communicator comm(m, make_layout(m, 8, LayoutSpec{}));
+  const Bytes b = 1 << 20;
+  // All-cross stage: sources 0..3 (socket 0) to 4..7 (socket 1).
+  Engine cross(comm, cfg, ExecMode::Timed, b, 1);
+  cross.begin_stage();
+  for (int k = 0; k < 4; ++k) cross.copy(k, 0, 4 + k, 0, 1);
+  const Usec t_cross = cross.end_stage();
+  // All-same stage: pairs within each socket.
+  Engine same(comm, cfg, ExecMode::Timed, b, 1);
+  same.begin_stage();
+  same.copy(0, 0, 1, 0, 1);
+  same.copy(2, 0, 3, 0, 1);
+  same.copy(4, 0, 5, 0, 1);
+  same.copy(6, 0, 7, 0, 1);
+  const Usec t_same = same.end_stage();
+  EXPECT_NEAR(t_cross, t_same, 0.1 * t_same);
+}
+
+TEST(CostCalibration, IsolatedCopiesMemoryBound) {
+  // docs/MODEL.md constraint 1: a lone cross-socket copy streams about as
+  // fast as a lone same-socket copy.
+  const Machine m = Machine::gpc(1);
+  const Communicator comm(m, make_layout(m, 8, LayoutSpec{}));
+  const CostConfig cfg;
+  const Bytes b = 1 << 22;
+  Engine a(comm, cfg, ExecMode::Timed, b, 1);
+  a.begin_stage();
+  a.copy(0, 0, 1, 0, 1);
+  const Usec same = a.end_stage();
+  Engine c(comm, cfg, ExecMode::Timed, b, 1);
+  c.begin_stage();
+  c.copy(0, 0, 4, 0, 1);
+  const Usec cross = c.end_stage();
+  EXPECT_NEAR(same, cross, 0.15 * same);
+}
+
+}  // namespace
+}  // namespace tarr::simmpi

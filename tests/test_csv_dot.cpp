@@ -1,0 +1,74 @@
+// Tests for the CSV writer and the DOT pattern-graph export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench/csv.hpp"
+#include "common/error.hpp"
+#include "graph/pattern.hpp"
+
+namespace tarr {
+namespace {
+
+TEST(CsvWriter, BasicSerialization) {
+  bench::CsvWriter w;
+  w.set_header({"msg", "impr"});
+  w.add_row({"1K", "42.5"});
+  w.add_row({"256K", "-3.5"});
+  EXPECT_EQ(w.to_string(), "msg,impr\n1K,42.5\n256K,-3.5\n");
+  EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  bench::CsvWriter w;
+  w.add_row({"a,b", "he said \"hi\"", "multi\nline", "plain"});
+  EXPECT_EQ(w.to_string(),
+            "\"a,b\",\"he said \"\"hi\"\"\",\"multi\nline\",plain\n");
+}
+
+TEST(CsvWriter, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/tarr_test.csv";
+  bench::CsvWriter w;
+  w.set_header({"x"});
+  w.add_row({"1"});
+  w.write(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+  std::remove(path.c_str());
+  EXPECT_THROW(w.write("/nonexistent/dir/x.csv"), Error);
+}
+
+TEST(GraphDot, RendersEdgesWithWeights) {
+  const graph::WeightedGraph g = graph::ring_pattern(4);
+  const std::string dot = g.to_dot("ring4");
+  EXPECT_NE(dot.find("graph ring4 {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"3\""), std::string::npos);  // weight p-1 = 3
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST(GraphDot, RequiresFinalize) {
+  graph::WeightedGraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.to_dot(), Error);
+}
+
+TEST(GraphDot, EveryEdgeAppearsOnce) {
+  const graph::WeightedGraph g = graph::recursive_doubling_pattern(8);
+  const std::string dot = g.to_dot();
+  std::size_t count = 0, pos = 0;
+  while ((pos = dot.find(" -- ", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, static_cast<std::size_t>(g.num_edges()));
+}
+
+}  // namespace
+}  // namespace tarr

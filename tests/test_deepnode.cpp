@@ -1,0 +1,148 @@
+// Tests for the deep intra-node hierarchy (paper §VII future work: nodes
+// with more cores and an extra L3-complex level) and for distance-matrix
+// persistence (§IV: distances "extracted once, and saved for future
+// references").
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/heuristics.hpp"
+#include "mapping/mapcost.hpp"
+#include "topology/distance.hpp"
+
+namespace tarr::topology {
+namespace {
+
+/// A 32-core EPYC-style node: 2 sockets x 4 complexes x 4 cores.
+NodeShape deep_shape() { return NodeShape{2, 16, 4}; }
+
+TEST(DeepNode, ShapeAccessors) {
+  const NodeShape s = deep_shape();
+  EXPECT_EQ(s.cores_per_node(), 32);
+  EXPECT_EQ(s.complexes_per_socket(), 4);
+  EXPECT_EQ(NodeShape{}.complexes_per_socket(), 1);
+}
+
+TEST(DeepNode, CoreLocation) {
+  const NodeShape s = deep_shape();
+  EXPECT_EQ(core_location(s, 0).complex_in_socket, 0);
+  EXPECT_EQ(core_location(s, 3).complex_in_socket, 0);
+  EXPECT_EQ(core_location(s, 4).complex_in_socket, 1);
+  EXPECT_EQ(core_location(s, 15).complex_in_socket, 3);
+  EXPECT_EQ(core_location(s, 16).socket, 1);
+  EXPECT_EQ(core_location(s, 16).complex_in_socket, 0);
+}
+
+TEST(DeepNode, IntranodeLevels) {
+  const NodeShape s = deep_shape();
+  EXPECT_EQ(intranode_level(s, 5, 5), IntraLevel::SameCore);
+  EXPECT_EQ(intranode_level(s, 0, 3), IntraLevel::SameComplex);
+  EXPECT_EQ(intranode_level(s, 0, 4), IntraLevel::CrossComplex);
+  EXPECT_EQ(intranode_level(s, 0, 15), IntraLevel::CrossComplex);
+  EXPECT_EQ(intranode_level(s, 0, 16), IntraLevel::CrossSocket);
+  EXPECT_EQ(intranode_level(s, 31, 0), IntraLevel::CrossSocket);
+}
+
+TEST(DeepNode, FlatShapeHasNoCrossComplex) {
+  const NodeShape flat{2, 4};
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b)
+      EXPECT_NE(intranode_level(flat, a, b), IntraLevel::CrossComplex);
+}
+
+TEST(DeepNode, MisalignedComplexRejected) {
+  const NodeShape bad{2, 4, 3};  // 3 does not divide 4
+  EXPECT_THROW(core_location(bad, 0), Error);
+}
+
+TEST(DeepNode, DistanceOrderingWithComplexes) {
+  const Machine m(deep_shape(), build_single_switch_network(2));
+  const DistanceMatrix d = extract_distances(m);
+  const float same_complex = d.at(0, 1);
+  const float cross_complex = d.at(0, 4);
+  const float cross_socket = d.at(0, 16);
+  const float inter_node = d.at(0, 32);
+  EXPECT_LT(same_complex, cross_complex);
+  EXPECT_LT(cross_complex, cross_socket);
+  EXPECT_LT(cross_socket, inter_node);
+}
+
+TEST(DeepNode, MachineComplexAccessor) {
+  const Machine m(deep_shape(), build_single_switch_network(1));
+  EXPECT_EQ(m.complex_of_core(0), 0);
+  EXPECT_EQ(m.complex_of_core(5), 1);
+  EXPECT_EQ(m.complex_of_core(17), 0);
+  const Machine flat = Machine::gpc(1);
+  EXPECT_EQ(flat.complex_of_core(3), 0);
+}
+
+TEST(DeepNode, BgmhPacksHeavyEdgesIntoComplexes) {
+  // The paper's future-work question: do the binomial heuristics pay off on
+  // nodes with more cores?  With 32 cores per node, BGMH must place the
+  // root's heaviest child (rank 16) in rank 0's complex.
+  const Machine m(deep_shape(), build_single_switch_network(1));
+  const DistanceMatrix d = extract_intranode_distances(m);
+  std::vector<int> initial(32);
+  for (int i = 0; i < 32; ++i) initial[i] = (i % 2) * 16 + i / 2;  // scatter
+  Rng rng(3);
+  mapping::BgmhMapper mapper;
+  const auto result = mapper.map(initial, d, rng);
+  EXPECT_EQ(core_location(m.shape(), result[16]).complex_in_socket,
+            core_location(m.shape(), result[0]).complex_in_socket);
+  EXPECT_EQ(core_location(m.shape(), result[16]).socket,
+            core_location(m.shape(), result[0]).socket);
+  // And the mapping improves the weighted gather cost of the scatter input.
+  const auto g =
+      mapping::build_pattern_graph(mapping::Pattern::BinomialGather, 32);
+  EXPECT_LT(mapping::mapping_cost(g, result, d),
+            mapping::mapping_cost(g, initial, d));
+}
+
+TEST(DistanceIo, SaveLoadRoundtrip) {
+  const Machine m = Machine::gpc(4);
+  const DistanceMatrix d = extract_distances(m);
+  const std::string path = ::testing::TempDir() + "/tarr_dist.bin";
+  d.save(path);
+  const DistanceMatrix loaded = DistanceMatrix::load(path);
+  ASSERT_EQ(loaded.size(), d.size());
+  for (CoreId a = 0; a < d.size(); a += 3)
+    for (CoreId b = 0; b < d.size(); b += 5)
+      EXPECT_EQ(loaded.at(a, b), d.at(a, b));
+  std::remove(path.c_str());
+}
+
+TEST(DistanceIo, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/tarr_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a matrix", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(DistanceMatrix::load(path), Error);
+  EXPECT_THROW(DistanceMatrix::load("/nonexistent/dir/x.bin"), Error);
+  std::remove(path.c_str());
+}
+
+TEST(DistanceIo, LoadRejectsTruncated) {
+  const Machine m = Machine::gpc(2);
+  const DistanceMatrix d = extract_distances(m);
+  const std::string path = ::testing::TempDir() + "/tarr_trunc.bin";
+  d.save(path);
+  // Truncate the payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), 64), 0);
+  }
+  EXPECT_THROW(DistanceMatrix::load(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tarr::topology

@@ -1,0 +1,106 @@
+#include "topology/direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/machine.hpp"
+#include "topology/routing.hpp"
+
+namespace tarr::topology {
+namespace {
+
+int count_kind(const SwitchGraph& g, VertexKind k) {
+  int n = 0;
+  for (int v = 0; v < g.num_vertices(); ++v)
+    if (g.vertex(v).kind == k) ++n;
+  return n;
+}
+
+TEST(Torus, ShapeAndDegree) {
+  const SwitchGraph g = build_torus_network(4, 4, 4);
+  EXPECT_EQ(count_kind(g, VertexKind::Switch), 64);
+  EXPECT_EQ(g.num_hosts(), 64);
+  // 3 links per router per dimension pair: 64 routers * 3 dims = 192 torus
+  // links + 64 host links.
+  EXPECT_EQ(g.num_links(), 192 + 64);
+  // Every router has degree 7 (6 neighbors + 1 host).
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex(v).kind == VertexKind::Switch) {
+      EXPECT_EQ(g.incident(v).size(), 7u);
+    }
+  }
+}
+
+TEST(Torus, HopCountsMatchManhattanWithWraparound) {
+  const SwitchGraph g = build_torus_network(4, 4, 1);
+  const Router r(g);
+  // Node ids: (i*4+j) for z=1.  Host->router adds 2 hops to any route.
+  EXPECT_EQ(r.hops(0, 1), 1 + 1 + 1);   // one torus hop
+  EXPECT_EQ(r.hops(0, 3), 1 + 1 + 1);   // wraparound: distance 1
+  EXPECT_EQ(r.hops(0, 2), 1 + 2 + 1);   // distance 2
+  EXPECT_EQ(r.hops(0, 5), 1 + 2 + 1);   // (1,1): manhattan 2
+  EXPECT_EQ(r.hops(0, 10), 1 + 4 + 1);  // (2,2): 2+2
+}
+
+TEST(Torus, DegenerateDimensions) {
+  const SwitchGraph line = build_torus_network(5, 1, 1);
+  EXPECT_EQ(line.num_hosts(), 5);
+  const Router r(line);
+  EXPECT_EQ(r.hops(0, 2), 1 + 2 + 1);
+  // Size-2 dimension: single link, no double edge.
+  const SwitchGraph pair = build_torus_network(2, 1, 1);
+  EXPECT_EQ(pair.num_links(), 1 + 2);
+  EXPECT_THROW(build_torus_network(0, 1, 1), Error);
+}
+
+TEST(Dragonfly, ShapeAndConnectivity) {
+  const DragonflyConfig cfg;  // 9 groups x 4 routers x 2 hosts
+  const SwitchGraph g = build_dragonfly_network(72, cfg);
+  EXPECT_EQ(g.num_hosts(), 72);
+  EXPECT_EQ(count_kind(g, VertexKind::Switch), 36);
+  // Links: per group C(4,2)=6 local -> 54; C(9,2)=36 global; 72 host links.
+  EXPECT_EQ(g.num_links(), 54 + 36 + 72);
+}
+
+TEST(Dragonfly, DiameterIsSmall) {
+  const SwitchGraph g = build_dragonfly_network(72);
+  const Router r(g);
+  // Max route: host-router(1) local(1) global(1) local(1) router-host(1).
+  int max_hops = 0;
+  for (NodeId a = 0; a < 72; a += 5)
+    for (NodeId b = 0; b < 72; b += 7)
+      if (a != b) max_hops = std::max(max_hops, r.hops(a, b));
+  EXPECT_LE(max_hops, 5 + 2);  // allow one extra local detour
+  EXPECT_GE(max_hops, 4);
+}
+
+TEST(Dragonfly, SameRouterIsTwoHops) {
+  const SwitchGraph g = build_dragonfly_network(72);
+  const Router r(g);
+  EXPECT_EQ(r.hops(0, 1), 2);  // share a router
+  EXPECT_EQ(r.hops(0, 2), 3);  // same group, neighbor router
+}
+
+TEST(Dragonfly, ValidatesParameters) {
+  DragonflyConfig bad;
+  bad.groups = 20;
+  bad.routers_per_group = 2;
+  bad.global_per_router = 1;  // 19 > 2 global ports
+  EXPECT_THROW(build_dragonfly_network(10, bad), Error);
+  EXPECT_THROW(build_dragonfly_network(0), Error);
+  EXPECT_THROW(build_dragonfly_network(1000), Error);
+}
+
+TEST(DirectNetworks, WorkAsMachines) {
+  // The whole stack (machine, distances, router) runs on direct networks.
+  const Machine torus(NodeShape{}, build_torus_network(3, 3, 3));
+  EXPECT_EQ(torus.total_cores(), 27 * 8);
+  EXPECT_GT(torus.network_hops_between_cores(0, torus.total_cores() - 1), 0);
+
+  const Machine dfly(NodeShape{}, build_dragonfly_network(72));
+  EXPECT_EQ(dfly.total_cores(), 72 * 8);
+  EXPECT_EQ(dfly.network_hops_between_cores(0, 8), 2);
+}
+
+}  // namespace
+}  // namespace tarr::topology

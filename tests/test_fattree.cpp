@@ -1,0 +1,104 @@
+#include "topology/fattree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tarr::topology {
+namespace {
+
+int count_kind(const SwitchGraph& g, VertexKind k) {
+  int n = 0;
+  for (int v = 0; v < g.num_vertices(); ++v)
+    if (g.vertex(v).kind == k) ++n;
+  return n;
+}
+
+TEST(GpcNetwork, PaperTopologyCounts) {
+  // Full GPC tree as in Fig 2: 32 leaves x 30 nodes, two core switches each
+  // built from 18 line and 9 spine switches.
+  const SwitchGraph g = build_gpc_network(960);
+  EXPECT_EQ(count_kind(g, VertexKind::Host), 960);
+  EXPECT_EQ(count_kind(g, VertexKind::LeafSwitch), 32);
+  EXPECT_EQ(count_kind(g, VertexKind::LineSwitch), 2 * 18);
+  EXPECT_EQ(count_kind(g, VertexKind::SpineSwitch), 2 * 9);
+  EXPECT_EQ(g.num_hosts(), 960);
+}
+
+TEST(GpcNetwork, LeafUplinksAndBlockingRatio) {
+  const SwitchGraph g = build_gpc_network(960);
+  // Every leaf has 30 host links (cap 1) and one cap-3 bundle to each core
+  // switch: 5:1 oversubscription (30 down / 6 up).
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex(v).kind != VertexKind::LeafSwitch) continue;
+    int down = 0, up = 0;
+    for (LinkId l : g.incident(v)) {
+      const auto& link = g.link(l);
+      const auto other = g.other_end(l, v);
+      if (g.vertex(other).kind == VertexKind::Host) {
+        down += link.capacity;
+      } else {
+        EXPECT_EQ(g.vertex(other).kind, VertexKind::LineSwitch);
+        up += link.capacity;
+      }
+    }
+    EXPECT_EQ(down, 30);
+    EXPECT_EQ(up, 6);  // 3 cables to each of 2 core switches
+  }
+}
+
+TEST(GpcNetwork, LineToSpineWiring) {
+  const SwitchGraph g = build_gpc_network(60);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (g.vertex(v).kind != VertexKind::LineSwitch) continue;
+    int spine_cables = 0;
+    for (LinkId l : g.incident(v)) {
+      if (g.vertex(g.other_end(l, v)).kind == VertexKind::SpineSwitch)
+        spine_cables += g.link(l).capacity;
+    }
+    EXPECT_EQ(spine_cables, 9 * 2);  // 2 cables to each of 9 spines
+  }
+}
+
+TEST(GpcNetwork, NodesAttachToConsecutiveLeaves) {
+  const SwitchGraph g = build_gpc_network(61);
+  // Node 0 and node 29 share a leaf; node 30 is on the next leaf.
+  auto leaf_of = [&](NodeId n) {
+    const auto h = g.host_vertex(n);
+    return g.other_end(g.incident(h).front(), h);
+  };
+  EXPECT_EQ(leaf_of(0), leaf_of(29));
+  EXPECT_NE(leaf_of(29), leaf_of(30));
+  EXPECT_EQ(leaf_of(30), leaf_of(59));
+  EXPECT_NE(leaf_of(59), leaf_of(60));
+}
+
+TEST(GpcNetwork, RejectsTooManyNodes) {
+  EXPECT_THROW(build_gpc_network(961), Error);
+  EXPECT_THROW(build_gpc_network(0), Error);
+}
+
+TEST(SingleSwitchNetwork, StarShape) {
+  const SwitchGraph g = build_single_switch_network(5);
+  EXPECT_EQ(g.num_hosts(), 5);
+  EXPECT_EQ(g.num_links(), 5);
+  EXPECT_EQ(count_kind(g, VertexKind::Switch), 1);
+}
+
+TEST(TwoLevelFatTree, Shape) {
+  const SwitchGraph g = build_two_level_fattree(8, 4, 2, 1);
+  EXPECT_EQ(g.num_hosts(), 8);
+  EXPECT_EQ(count_kind(g, VertexKind::LeafSwitch), 2);
+  EXPECT_EQ(count_kind(g, VertexKind::SpineSwitch), 2);
+  // links: 2 leaves x 2 spines + 8 hosts = 12.
+  EXPECT_EQ(g.num_links(), 12);
+}
+
+TEST(TwoLevelFatTree, PartialLastLeaf) {
+  const SwitchGraph g = build_two_level_fattree(5, 4, 1);
+  EXPECT_EQ(g.num_hosts(), 5);
+  EXPECT_EQ(count_kind(g, VertexKind::LeafSwitch), 2);
+}
+
+}  // namespace
+}  // namespace tarr::topology

@@ -1,0 +1,158 @@
+// Randomized property tests: arbitrary (seeded) permutations, machines and
+// schedules must uphold the same invariants the structured tests check.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collectives/allgather.hpp"
+#include "collectives/orderfix.hpp"
+#include "common/permutation.hpp"
+#include "common/rng.hpp"
+#include "mapping/heuristics.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+#include "topology/distance.hpp"
+
+namespace tarr {
+namespace {
+
+using collectives::AllgatherAlgo;
+using collectives::AllgatherOptions;
+using collectives::OrderFix;
+using simmpi::Communicator;
+using simmpi::Engine;
+using simmpi::ExecMode;
+using topology::Machine;
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  std::vector<int> p = identity_permutation(n);
+  for (int i = n - 1; i > 0; --i) std::swap(p[i], p[rng.next_below(i + 1)]);
+  return p;
+}
+
+/// Reordered communicator from an arbitrary rank permutation (not from a
+/// heuristic): new rank j sits on the core of old rank perm[j].
+Communicator arbitrary_reorder(const Communicator& comm,
+                               const std::vector<int>& oldrank) {
+  std::vector<CoreId> cores(comm.size());
+  for (Rank j = 0; j < comm.size(); ++j) cores[j] = comm.core_of(oldrank[j]);
+  return comm.reordered(cores);
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, AllgatherCorrectUnderArbitraryPermutations) {
+  Rng rng(1000 + GetParam());
+  const int nodes = 1 + static_cast<int>(rng.next_below(6));
+  const Machine m = Machine::gpc(nodes);
+  // Power-of-two p for RD; ring/bruck get arbitrary sizes below.
+  const int p = std::min<int>(topology::Machine::gpc(nodes).total_cores(),
+                              1 << (2 + rng.next_below(4)));
+  const auto spec =
+      simmpi::all_layouts()[rng.next_below(4)];
+  const Communicator comm(m, simmpi::make_layout(m, p, spec));
+  const auto oldrank = random_permutation(p, rng);
+  const Communicator reordered = arbitrary_reorder(comm, oldrank);
+
+  for (OrderFix fix : {OrderFix::InitComm, OrderFix::EndShuffle}) {
+    Engine eng(reordered, simmpi::CostConfig{}, ExecMode::Data, 32, p);
+    collectives::run_allgather(
+        eng, AllgatherOptions{AllgatherAlgo::RecursiveDoubling, fix},
+        oldrank);
+    collectives::check_allgather_output(eng);
+  }
+}
+
+TEST_P(FuzzSeeds, RingAndBruckSelfCorrectAnySizeAnyPermutation) {
+  Rng rng(2000 + GetParam());
+  const int nodes = 1 + static_cast<int>(rng.next_below(5));
+  const Machine m = Machine::gpc(nodes);
+  const int p = 2 + static_cast<int>(rng.next_below(m.total_cores() - 1));
+  const Communicator comm(
+      m, simmpi::make_layout(m, p, simmpi::all_layouts()[GetParam() % 4]));
+  const auto oldrank = random_permutation(p, rng);
+  const Communicator reordered = arbitrary_reorder(comm, oldrank);
+
+  for (AllgatherAlgo algo : {AllgatherAlgo::Ring, AllgatherAlgo::Bruck}) {
+    Engine eng(reordered, simmpi::CostConfig{}, ExecMode::Data, 16, p);
+    collectives::run_allgather(eng, AllgatherOptions{algo, OrderFix::None},
+                               oldrank);
+    collectives::check_allgather_output(eng);
+  }
+}
+
+TEST_P(FuzzSeeds, TimedEqualsDataOnRandomSchedules) {
+  // The two execution modes must account exactly the same time for any
+  // stage/copy sequence.
+  Rng rng(3000 + GetParam());
+  const Machine m = Machine::gpc(1 + rng.next_below(4));
+  const int p = 2 + static_cast<int>(rng.next_below(m.total_cores() - 1));
+  const Communicator comm(m, simmpi::make_layout(m, p, {}));
+  const int blocks = 4;
+
+  struct Copy {
+    Rank src, dst;
+    int soff, doff, n;
+  };
+  std::vector<std::vector<Copy>> stages(1 + rng.next_below(6));
+  for (auto& stage : stages) {
+    const int k = 1 + static_cast<int>(rng.next_below(12));
+    for (int i = 0; i < k; ++i) {
+      Copy c;
+      c.src = static_cast<Rank>(rng.next_below(p));
+      c.dst = static_cast<Rank>(rng.next_below(p));
+      c.n = 1 + static_cast<int>(rng.next_below(blocks));
+      c.soff = static_cast<int>(rng.next_below(blocks - c.n + 1));
+      c.doff = static_cast<int>(rng.next_below(blocks - c.n + 1));
+      stage.push_back(c);
+    }
+  }
+
+  auto run = [&](ExecMode mode) {
+    Engine eng(comm, simmpi::CostConfig{}, mode, 777, blocks);
+    for (const auto& stage : stages) {
+      eng.begin_stage();
+      for (const auto& c : stage) eng.copy(c.src, c.soff, c.dst, c.doff, c.n);
+      eng.end_stage();
+    }
+    return eng.total();
+  };
+  const Usec t_timed = run(ExecMode::Timed);
+  const Usec t_data = run(ExecMode::Data);
+  EXPECT_NEAR(t_timed, t_data, 1e-9 * std::max(1.0, t_data));
+}
+
+TEST_P(FuzzSeeds, HeuristicsValidOnRandomCoreSubsets) {
+  // Communicators over arbitrary core subsets (not whole nodes) are legal
+  // inputs; heuristics must still emit permutations with rank 0 fixed.
+  Rng rng(4000 + GetParam());
+  const Machine m = Machine::gpc(2 + rng.next_below(6));
+  const auto d = topology::extract_distances(m);
+  // Choose a random subset of cores.
+  std::vector<int> cores = random_permutation(m.total_cores(), rng);
+  const int p = 2 + static_cast<int>(rng.next_below(
+                        std::min(30, m.total_cores() - 2)));
+  cores.resize(p);
+  std::vector<int> initial = cores;
+
+  for (auto pattern : {mapping::Pattern::Ring,
+                       mapping::Pattern::BinomialBcast,
+                       mapping::Pattern::BinomialGather,
+                       mapping::Pattern::Bruck}) {
+    Rng r2(rng.next_u64());
+    const auto mapper = mapping::make_heuristic(pattern);
+    const auto result = mapper->map(initial, d, r2);
+    auto a = initial;
+    auto b = result;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << mapper->name();
+    EXPECT_EQ(result[0], initial[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace tarr

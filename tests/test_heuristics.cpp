@@ -1,0 +1,320 @@
+#include "mapping/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "mapping/comparators.hpp"
+#include "mapping/mapcost.hpp"
+#include "simmpi/layout.hpp"
+#include "topology/distance.hpp"
+
+namespace tarr::mapping {
+namespace {
+
+using simmpi::LayoutSpec;
+using simmpi::NodeOrder;
+using simmpi::SocketOrder;
+using simmpi::make_layout;
+using topology::DistanceMatrix;
+using topology::Machine;
+
+struct Fixture {
+  Machine machine;
+  DistanceMatrix dist;
+  explicit Fixture(int nodes)
+      : machine(Machine::gpc(nodes)),
+        dist(topology::extract_distances(machine)) {}
+
+  std::vector<int> layout(int p, LayoutSpec spec = LayoutSpec{}) const {
+    const auto cores = make_layout(machine, p, spec);
+    return std::vector<int>(cores.begin(), cores.end());
+  }
+};
+
+bool is_valid_mapping(const std::vector<int>& initial,
+                      const std::vector<int>& result) {
+  if (initial.size() != result.size()) return false;
+  auto a = initial;
+  auto b = result;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+/// Every heuristic over every pattern it supports must produce a
+/// permutation of the initial slot set and keep rank 0 fixed.
+class HeuristicValidity
+    : public ::testing::TestWithParam<std::tuple<Pattern, int, int>> {};
+
+TEST_P(HeuristicValidity, PermutationWithRankZeroFixed) {
+  const auto [pattern, nodes, p] = GetParam();
+  if (pattern == Pattern::RecursiveDoubling && !is_pow2(p)) GTEST_SKIP();
+  Fixture f(nodes);
+  if (p > f.machine.total_cores()) GTEST_SKIP();
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter});
+  Rng rng(17);
+  const auto mapper = make_heuristic(pattern);
+  const auto result = mapper->map(initial, f.dist, rng);
+  EXPECT_TRUE(is_valid_mapping(initial, result)) << mapper->name();
+  EXPECT_EQ(result[0], initial[0]) << "rank 0 must stay on its core";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatterns, HeuristicValidity,
+    ::testing::Combine(::testing::Values(Pattern::RecursiveDoubling,
+                                         Pattern::Ring,
+                                         Pattern::BinomialBcast,
+                                         Pattern::BinomialGather,
+                                         Pattern::Bruck),
+                       ::testing::Values(1, 2, 8),
+                       ::testing::Values(1, 2, 3, 8, 15, 16, 61, 64)));
+
+TEST(Rdmh, RejectsNonPow2) {
+  Fixture f(1);
+  Rng rng(1);
+  RdmhMapper m;
+  EXPECT_THROW(m.map(f.layout(6), f.dist, rng), Error);
+}
+
+TEST(Rdmh, SingleRankIsTrivial) {
+  Fixture f(1);
+  Rng rng(1);
+  RdmhMapper m;
+  EXPECT_EQ(m.map({3}, f.dist, rng), (std::vector<int>{3}));
+}
+
+TEST(Rdmh, LastStagePartnerLandsNextToRankZero) {
+  // The first decision of Algorithm 2: rank p/2 is mapped as close as
+  // possible to rank 0.
+  Fixture f(8);
+  const int p = 64;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Block, SocketOrder::Bunch});
+  Rng rng(5);
+  RdmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  // With a block layout rank 0's socket has free cores, so the partner
+  // must land on the same socket (distance == same_socket weight).
+  EXPECT_EQ(f.dist.at(result[0], result[p / 2]),
+            f.dist.at(initial[0], initial[1]));
+}
+
+TEST(Rdmh, ReducesWeightedCostOnBlockLayout) {
+  Fixture f(8);
+  const int p = 64;
+  const auto initial = f.layout(p);
+  const auto g = build_pattern_graph(Pattern::RecursiveDoubling, p);
+  Rng rng(9);
+  RdmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LT(mapping_cost(g, result, f.dist), mapping_cost(g, initial, f.dist));
+}
+
+TEST(Rdmh, RefUpdatePeriodVariantsAreValid) {
+  Fixture f(4);
+  const auto initial = f.layout(32);
+  for (int period : {1, 2, 4, 0 /* never */}) {
+    Rng rng(3);
+    RdmhMapper m(period);
+    const auto result = m.map(initial, f.dist, rng);
+    EXPECT_TRUE(is_valid_mapping(initial, result)) << "period " << period;
+  }
+}
+
+TEST(Rmh, PreservesBlockBunchLayout) {
+  // The paper's goal 2: an already-ideal layout must not degrade.  For the
+  // ring pattern, block-bunch is ideal and RMH reproduces a layout whose
+  // weighted cost is identical.
+  Fixture f(4);
+  const int p = 32;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Block, SocketOrder::Bunch});
+  const auto g = build_pattern_graph(Pattern::Ring, p);
+  Rng rng(7);
+  RmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LE(mapping_cost(g, result, f.dist),
+            mapping_cost(g, initial, f.dist) + 1e-9);
+}
+
+TEST(Rmh, RepairsCyclicLayout) {
+  Fixture f(4);
+  const int p = 32;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Bunch});
+  const auto g = build_pattern_graph(Pattern::Ring, p);
+  Rng rng(7);
+  RmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LT(mapping_cost(g, result, f.dist),
+            0.2 * mapping_cost(g, initial, f.dist));
+}
+
+TEST(Rmh, ConsecutiveRanksAreAdjacent) {
+  Fixture f(2);
+  const auto initial =
+      f.layout(16, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter});
+  Rng rng(3);
+  RmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  // Walking the ring, at most one node boundary per node: count inter-node
+  // neighbor pairs; RMH should produce exactly nodes boundaries - 1 (open
+  // chain), i.e. 1 for 2 nodes.
+  int cross = 0;
+  for (int i = 0; i + 1 < 16; ++i) {
+    if (f.machine.node_of_core(result[i]) !=
+        f.machine.node_of_core(result[i + 1]))
+      ++cross;
+  }
+  EXPECT_EQ(cross, 1);
+}
+
+TEST(Bbmh, NoDegradationOnBunchInput) {
+  // The paper's goal 2: a bunch layout is already ideal for the broadcast
+  // tree; BBMH may permute within distance ties (ties are broken randomly)
+  // but must not increase the weighted cost.
+  Fixture f(1);
+  const auto initial = f.layout(8, LayoutSpec{});
+  const auto g = build_pattern_graph(Pattern::BinomialBcast, 8);
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(seed);
+    BbmhMapper m;
+    const auto result = m.map(initial, f.dist, rng);
+    EXPECT_LE(mapping_cost(g, result, f.dist),
+              mapping_cost(g, initial, f.dist) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Bbmh, TraversalVariantsAllValid) {
+  Fixture f(4);
+  const auto initial =
+      f.layout(29, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter});
+  for (auto order : {BbmhTraversal::SmallSubtreeFirst,
+                     BbmhTraversal::LargeSubtreeFirst,
+                     BbmhTraversal::LevelOrder}) {
+    Rng rng(11);
+    BbmhMapper m(order);
+    const auto result = m.map(initial, f.dist, rng);
+    EXPECT_TRUE(is_valid_mapping(initial, result));
+    EXPECT_EQ(result[0], initial[0]);
+  }
+}
+
+TEST(Bbmh, ImprovesBlockScatterLayout) {
+  // Fig 4's intra-node story: scattering a node's ranks over sockets breaks
+  // the broadcast tree locality, and BBMH repairs it.
+  Fixture f(2);
+  const int p = 16;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Block, SocketOrder::Scatter});
+  const auto g = build_pattern_graph(Pattern::BinomialBcast, p);
+  Rng rng(13);
+  BbmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LT(mapping_cost(g, result, f.dist), mapping_cost(g, initial, f.dist));
+}
+
+TEST(Bgmh, HeaviestEdgeMappedFirst) {
+  // Rank p/2 (the root's heaviest child) must land as close to rank 0 as
+  // the initial layout permits.
+  Fixture f(1);
+  const auto initial = f.layout(8, LayoutSpec{});
+  Rng rng(3);
+  BgmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  // Rank 4 ends on rank 0's socket (cores 0..3).
+  EXPECT_EQ(f.machine.socket_of_core(result[4]),
+            f.machine.socket_of_core(result[0]));
+}
+
+TEST(Bgmh, ImprovesGatherCostOnBlockScatter) {
+  Fixture f(4);
+  const int p = 32;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Block, SocketOrder::Scatter});
+  const auto g = build_pattern_graph(Pattern::BinomialGather, p);
+  Rng rng(29);
+  BgmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LT(mapping_cost(g, result, f.dist), mapping_cost(g, initial, f.dist));
+}
+
+TEST(Bgmh, CyclicPlacementIsAlreadyTreeFriendly) {
+  // A documented caveat: under a cyclic node placement the heavy
+  // power-of-two-difference tree edges are intra-node *by construction*
+  // (the same property that makes cyclic good for recursive doubling), so
+  // a compact greedy repacking is not guaranteed to reduce the weighted
+  // cost.  This is why the framework pairs each heuristic with its own
+  // pattern and why §VII proposes an adaptive fallback.
+  Fixture f(4);
+  const int p = 32;
+  const auto cyclic =
+      f.layout(p, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter});
+  const auto g = build_pattern_graph(Pattern::BinomialGather, p);
+  // The heavy root edge (0, 16) is indeed intra-node under cyclic.
+  EXPECT_EQ(f.machine.node_of_core(cyclic[0]),
+            f.machine.node_of_core(cyclic[16]));
+  EXPECT_GT(mapping_cost(g, cyclic, f.dist), 0.0);
+}
+
+TEST(Bkmh, WorksForAnySize) {
+  Fixture f(4);
+  for (int p : {2, 3, 7, 12, 25, 32}) {
+    const auto initial =
+        f.layout(p, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Bunch});
+    Rng rng(31);
+    BkmhMapper m;
+    const auto result = m.map(initial, f.dist, rng);
+    EXPECT_TRUE(is_valid_mapping(initial, result)) << "p=" << p;
+  }
+}
+
+TEST(Bkmh, ImprovesBruckCostOnCyclic) {
+  Fixture f(4);
+  const int p = 24;
+  const auto initial =
+      f.layout(p, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Bunch});
+  const auto g = build_pattern_graph(Pattern::Bruck, p);
+  Rng rng(37);
+  BkmhMapper m;
+  const auto result = m.map(initial, f.dist, rng);
+  EXPECT_LT(mapping_cost(g, result, f.dist), mapping_cost(g, initial, f.dist));
+}
+
+TEST(Heuristics, DeterministicGivenSeed) {
+  Fixture f(4);
+  const auto initial =
+      f.layout(32, LayoutSpec{NodeOrder::Cyclic, SocketOrder::Scatter});
+  for (auto pattern : {Pattern::RecursiveDoubling, Pattern::Ring,
+                       Pattern::BinomialBcast, Pattern::BinomialGather,
+                       Pattern::Bruck}) {
+    Rng a(55), b(55);
+    const auto mapper = make_heuristic(pattern);
+    EXPECT_EQ(mapper->map(initial, f.dist, a),
+              mapper->map(initial, f.dist, b));
+  }
+}
+
+TEST(Heuristics, FactoryNames) {
+  EXPECT_EQ(make_heuristic(Pattern::RecursiveDoubling)->name(), "RDMH");
+  EXPECT_EQ(make_heuristic(Pattern::Ring)->name(), "RMH");
+  EXPECT_EQ(make_heuristic(Pattern::BinomialBcast)->name(), "BBMH");
+  EXPECT_EQ(make_heuristic(Pattern::BinomialGather)->name(), "BGMH");
+  EXPECT_EQ(make_heuristic(Pattern::Bruck)->name(), "BKMH");
+}
+
+TEST(PatternNames, ToString) {
+  EXPECT_STREQ(to_string(Pattern::RecursiveDoubling), "recursive-doubling");
+  EXPECT_STREQ(to_string(Pattern::Ring), "ring");
+  EXPECT_STREQ(to_string(Pattern::BinomialBcast), "binomial-bcast");
+  EXPECT_STREQ(to_string(Pattern::BinomialGather), "binomial-gather");
+  EXPECT_STREQ(to_string(Pattern::Bruck), "bruck");
+}
+
+}  // namespace
+}  // namespace tarr::mapping

@@ -1,0 +1,148 @@
+// Tests for the §IV info-key configuration interface, link-failure
+// injection in the network substrate, and trace-file loading.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench/appmodel.hpp"
+#include "common/error.hpp"
+#include "core/info.hpp"
+#include "topology/fattree.hpp"
+#include "topology/routing.hpp"
+
+namespace tarr {
+namespace {
+
+using core::InfoConfig;
+using core::MapperKind;
+using core::parse_info;
+using core::parse_info_string;
+
+TEST(InfoKeys, DefaultsWhenEmpty) {
+  const InfoConfig info = parse_info({});
+  EXPECT_TRUE(info.enabled);
+  EXPECT_EQ(info.config.mapper, MapperKind::Heuristic);
+  EXPECT_EQ(info.config.fix, collectives::OrderFix::InitComm);
+  EXPECT_FALSE(info.config.hierarchical);
+}
+
+TEST(InfoKeys, ParsesEveryKey) {
+  const InfoConfig info = parse_info({
+      {"tarr_reorder", "enabled"},
+      {"tarr_mapper", "scotch"},
+      {"tarr_order_fix", "endshfl"},
+      {"tarr_hierarchical", "true"},
+      {"tarr_intra", "linear"},
+  });
+  EXPECT_TRUE(info.enabled);
+  EXPECT_EQ(info.config.mapper, MapperKind::ScotchLike);
+  EXPECT_EQ(info.config.fix, collectives::OrderFix::EndShuffle);
+  EXPECT_TRUE(info.config.hierarchical);
+  EXPECT_EQ(info.config.intra, collectives::IntraAlgo::Linear);
+}
+
+TEST(InfoKeys, DisableOverridesMapper) {
+  const InfoConfig info = parse_info(
+      {{"tarr_mapper", "heuristic"}, {"tarr_reorder", "disabled"}});
+  EXPECT_FALSE(info.enabled);
+  EXPECT_EQ(info.config.mapper, MapperKind::None);
+}
+
+TEST(InfoKeys, CaseAndWhitespaceInsensitive) {
+  const InfoConfig info =
+      parse_info({{" TARR_Mapper ", " Greedy "}, {"tarr_intra", "BINOMIAL"}});
+  EXPECT_EQ(info.config.mapper, MapperKind::GreedyGraph);
+}
+
+TEST(InfoKeys, RejectsUnknownKeysAndValues) {
+  EXPECT_THROW(parse_info({{"tarr_bogus", "x"}}), Error);
+  EXPECT_THROW(parse_info({{"tarr_mapper", "magic"}}), Error);
+  EXPECT_THROW(parse_info({{"tarr_reorder", "maybe"}}), Error);
+  EXPECT_THROW(parse_info({{"tarr_hierarchical", "1"}}), Error);
+}
+
+TEST(InfoKeys, StringFormParses) {
+  const InfoConfig info = parse_info_string(
+      "tarr_mapper=mvapich-cyclic; tarr_order_fix=initcomm;;");
+  EXPECT_EQ(info.config.mapper, MapperKind::MvapichCyclic);
+  EXPECT_THROW(parse_info_string("tarr_mapper"), Error);  // no '='
+}
+
+TEST(LinkFailure, RoutesAroundDeadUplink) {
+  // Kill one of leaf 0's two uplink bundles: routes to other line groups
+  // must use the surviving core switch; hop counts are unchanged (there is
+  // a parallel path) and all pairs stay connected.
+  using namespace topology;
+  const SwitchGraph g = build_gpc_network(240);
+  // Find a leaf->line link of leaf 0.
+  LinkId victim = -1;
+  for (int l = 0; l < g.num_links(); ++l) {
+    const auto& link = g.link(l);
+    if ((g.vertex(link.a).kind == VertexKind::LeafSwitch &&
+         g.vertex(link.b).kind == VertexKind::LineSwitch) ||
+        (g.vertex(link.b).kind == VertexKind::LeafSwitch &&
+         g.vertex(link.a).kind == VertexKind::LineSwitch)) {
+      victim = l;
+      break;
+    }
+  }
+  ASSERT_NE(victim, -1);
+  const SwitchGraph degraded = g.with_failed_links({victim});
+  EXPECT_EQ(degraded.num_links(), g.num_links() - 1);
+  const Router r(degraded);
+  for (NodeId dst = 0; dst < 240; dst += 17) {
+    if (dst != 0) {
+      EXPECT_GE(r.hops(0, dst), 2);
+    }
+  }
+}
+
+TEST(LinkFailure, DisconnectedHostDetected) {
+  using namespace topology;
+  const SwitchGraph g = build_single_switch_network(3);
+  // Host links are the last three; cutting one isolates that host.
+  const SwitchGraph degraded = g.with_failed_links({0});
+  EXPECT_THROW(Router{degraded}, Error);
+}
+
+TEST(LinkFailure, BadLinkIdRejected) {
+  using namespace topology;
+  const SwitchGraph g = build_single_switch_network(2);
+  EXPECT_THROW(g.with_failed_links({99}), Error);
+  EXPECT_THROW(g.with_failed_links({-1}), Error);
+}
+
+TEST(TraceFile, RoundtripAndValidation) {
+  const std::string path = ::testing::TempDir() + "/tarr_trace.txt";
+  {
+    std::ofstream out(path);
+    out << "# msg calls\n"
+        << "1024 100\n"
+        << "\n"
+        << "65536 7\n";
+  }
+  const auto trace = bench::load_app_trace(path);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].msg, 1024);
+  EXPECT_EQ(trace[0].calls, 100);
+  EXPECT_EQ(bench::trace_calls(trace), 107);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(bench::load_app_trace("/nonexistent/trace.txt"), Error);
+  {
+    std::ofstream out(path);
+    out << "garbage here\n";
+  }
+  EXPECT_THROW(bench::load_app_trace(path), Error);
+  {
+    std::ofstream out(path);
+    out << "# only comments\n";
+  }
+  EXPECT_THROW(bench::load_app_trace(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tarr

@@ -1,0 +1,50 @@
+#include "mapping/mapcost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/pattern.hpp"
+
+namespace tarr::mapping {
+namespace {
+
+topology::DistanceMatrix line_distances(int n) {
+  topology::DistanceMatrix d(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b) d.set(a, b, static_cast<float>(b - a));
+  return d;
+}
+
+TEST(MapCost, HandComputedRing) {
+  // Ring on 4 ranks: edges (i, i+1 mod 4) each weight 3.
+  const auto g = graph::ring_pattern(4);
+  const auto d = line_distances(4);
+  // Identity placement: distances 1,1,1 and the wrap edge 3 -> cost 3*6=18.
+  EXPECT_DOUBLE_EQ(mapping_cost(g, {0, 1, 2, 3}, d), 3.0 * (1 + 1 + 1 + 3));
+  // Interleaved placement 0,2,1,3: |0-2|+|2-1|+|1-3|+|3-0| = 2+1+2+3 = 8.
+  EXPECT_DOUBLE_EQ(mapping_cost(g, {0, 2, 1, 3}, d), 3.0 * 8);
+}
+
+TEST(MapCost, ZeroWhenAllColocated) {
+  const auto g = graph::ring_pattern(4);
+  topology::DistanceMatrix d(4, 0.0f);
+  EXPECT_DOUBLE_EQ(mapping_cost(g, {0, 1, 2, 3}, d), 0.0);
+}
+
+TEST(MapCost, SizeMismatchThrows) {
+  const auto g = graph::ring_pattern(4);
+  const auto d = line_distances(4);
+  EXPECT_THROW(mapping_cost(g, {0, 1, 2}, d), Error);
+}
+
+TEST(MapCost, WeightsScaleLinearly) {
+  const auto bcast = graph::binomial_bcast_pattern(8);
+  const auto gather = graph::binomial_gather_pattern(8);
+  const auto d = line_distances(8);
+  const std::vector<int> ident{0, 1, 2, 3, 4, 5, 6, 7};
+  // Gather weights dominate bcast weights edge-for-edge (same tree).
+  EXPECT_GT(mapping_cost(gather, ident, d), mapping_cost(bcast, ident, d));
+}
+
+}  // namespace
+}  // namespace tarr::mapping

@@ -1,0 +1,94 @@
+#include "topology/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tarr::topology {
+namespace {
+
+TEST(SwitchGraph, AddVertexAndLink) {
+  SwitchGraph g;
+  const auto s = g.add_vertex(VertexKind::Switch, "sw");
+  const auto h = g.add_vertex(VertexKind::Host, "n0", 0);
+  const auto l = g.add_link(s, h, 2);
+  EXPECT_EQ(g.num_vertices(), 2);
+  EXPECT_EQ(g.num_links(), 1);
+  EXPECT_EQ(g.link(l).capacity, 2);
+  EXPECT_EQ(g.other_end(l, s), h);
+  EXPECT_EQ(g.other_end(l, h), s);
+  EXPECT_EQ(g.host_vertex(0), h);
+  EXPECT_EQ(g.num_hosts(), 1);
+}
+
+TEST(SwitchGraph, IncidentLists) {
+  SwitchGraph g;
+  const auto a = g.add_vertex(VertexKind::Switch, "a");
+  const auto b = g.add_vertex(VertexKind::Switch, "b");
+  const auto c = g.add_vertex(VertexKind::Switch, "c");
+  g.add_link(a, b);
+  g.add_link(a, c);
+  EXPECT_EQ(g.incident(a).size(), 2u);
+  EXPECT_EQ(g.incident(b).size(), 1u);
+  EXPECT_EQ(g.incident(c).size(), 1u);
+}
+
+TEST(SwitchGraph, HostRequiresNodeIndex) {
+  SwitchGraph g;
+  EXPECT_THROW(g.add_vertex(VertexKind::Host, "bad"), Error);
+}
+
+TEST(SwitchGraph, DuplicateHostForNodeRejected) {
+  SwitchGraph g;
+  g.add_vertex(VertexKind::Host, "n0", 0);
+  EXPECT_THROW(g.add_vertex(VertexKind::Host, "n0b", 0), Error);
+}
+
+TEST(SwitchGraph, SelfLoopRejected) {
+  SwitchGraph g;
+  const auto a = g.add_vertex(VertexKind::Switch, "a");
+  EXPECT_THROW(g.add_link(a, a), Error);
+}
+
+TEST(SwitchGraph, BadCapacityRejected) {
+  SwitchGraph g;
+  const auto a = g.add_vertex(VertexKind::Switch, "a");
+  const auto b = g.add_vertex(VertexKind::Switch, "b");
+  EXPECT_THROW(g.add_link(a, b, 0), Error);
+}
+
+TEST(SwitchGraph, OtherEndRejectsNonEndpoint) {
+  SwitchGraph g;
+  const auto a = g.add_vertex(VertexKind::Switch, "a");
+  const auto b = g.add_vertex(VertexKind::Switch, "b");
+  const auto c = g.add_vertex(VertexKind::Switch, "c");
+  const auto l = g.add_link(a, b);
+  EXPECT_THROW(g.other_end(l, c), Error);
+}
+
+TEST(SwitchGraph, MissingHostThrows) {
+  SwitchGraph g;
+  g.add_vertex(VertexKind::Host, "n0", 0);
+  EXPECT_THROW(g.host_vertex(1), Error);
+  EXPECT_THROW(g.host_vertex(-1), Error);
+}
+
+TEST(SwitchGraph, DescribeCountsKinds) {
+  SwitchGraph g;
+  g.add_vertex(VertexKind::LeafSwitch, "leaf0");
+  g.add_vertex(VertexKind::Host, "n0", 0);
+  const std::string d = g.describe();
+  EXPECT_NE(d.find("1 hosts"), std::string::npos);
+  EXPECT_NE(d.find("1 leaf"), std::string::npos);
+}
+
+TEST(VertexKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(VertexKind::Host), "host");
+  EXPECT_STREQ(to_string(VertexKind::LeafSwitch), "leaf");
+  EXPECT_STREQ(to_string(VertexKind::LineSwitch), "line");
+  EXPECT_STREQ(to_string(VertexKind::SpineSwitch), "spine");
+  EXPECT_STREQ(to_string(VertexKind::Switch), "switch");
+}
+
+}  // namespace
+}  // namespace tarr::topology

@@ -1,0 +1,114 @@
+#include "core/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/permutation.hpp"
+#include "simmpi/layout.hpp"
+
+namespace tarr::core {
+namespace {
+
+using collectives::AllgatherAlgo;
+using collectives::OrderFix;
+using simmpi::Communicator;
+using simmpi::LayoutSpec;
+using simmpi::make_layout;
+using topology::Machine;
+
+ReorderedComm identity_start(const Communicator& comm) {
+  return ReorderedComm{comm, identity_permutation(comm.size()), 0.0};
+}
+
+TEST(Refine, NeverWorsensTheStart) {
+  const Machine m = Machine::gpc(4);
+  const Communicator comm(m, make_layout(m, 32, LayoutSpec{}));
+  const auto objective = allgather_objective(AllgatherAlgo::Ring, 64 * 1024,
+                                             OrderFix::None,
+                                             simmpi::CostConfig{});
+  RefineOptions opts;
+  opts.max_swaps = 60;
+  const RefineResult res =
+      refine_by_simulation(comm, identity_start(comm), objective, opts);
+  EXPECT_LE(res.final_objective, res.start_objective);
+  EXPECT_EQ(res.evaluations, 61);
+  // The returned mapping reproduces the reported objective.
+  EXPECT_NEAR(objective(res.mapping.comm, res.mapping.oldrank),
+              res.final_objective, 1e-9);
+}
+
+TEST(Refine, ImprovesADeliberatelyBadStart) {
+  // Cyclic placement + ring: plenty of profitable swaps exist.
+  const Machine m = Machine::gpc(2);
+  const Communicator comm(
+      m, make_layout(m, 16,
+                     LayoutSpec{simmpi::NodeOrder::Cyclic,
+                                simmpi::SocketOrder::Bunch}));
+  const auto objective = allgather_objective(AllgatherAlgo::Ring, 64 * 1024,
+                                             OrderFix::None,
+                                             simmpi::CostConfig{});
+  RefineOptions opts;
+  opts.max_swaps = 400;
+  opts.seed = 3;
+  const RefineResult res =
+      refine_by_simulation(comm, identity_start(comm), objective, opts);
+  EXPECT_LT(res.final_objective, res.start_objective);
+  EXPECT_GT(res.accepted_swaps, 0);
+}
+
+TEST(Refine, OldrankStaysConsistentWithCores) {
+  // Invariant: the process on a core keeps its original identity; swaps
+  // must permute cores and oldrank together.
+  const Machine m = Machine::gpc(2);
+  const Communicator comm(
+      m, make_layout(m, 16,
+                     LayoutSpec{simmpi::NodeOrder::Cyclic,
+                                simmpi::SocketOrder::Scatter}));
+  const auto objective = allgather_objective(AllgatherAlgo::Ring, 4096,
+                                             OrderFix::None,
+                                             simmpi::CostConfig{});
+  RefineOptions opts;
+  opts.max_swaps = 100;
+  const RefineResult res =
+      refine_by_simulation(comm, identity_start(comm), objective, opts);
+  for (Rank j = 0; j < comm.size(); ++j) {
+    EXPECT_EQ(res.mapping.comm.core_of(j),
+              comm.core_of(res.mapping.oldrank[j]));
+  }
+  EXPECT_TRUE(is_permutation_of_iota(res.mapping.oldrank));
+}
+
+TEST(Refine, ZeroBudgetReturnsStart) {
+  const Machine m = Machine::gpc(1);
+  const Communicator comm(m, make_layout(m, 8, LayoutSpec{}));
+  const auto objective = allgather_objective(
+      AllgatherAlgo::RecursiveDoubling, 1024, OrderFix::None,
+      simmpi::CostConfig{});
+  RefineOptions opts;
+  opts.max_swaps = 0;
+  const RefineResult res =
+      refine_by_simulation(comm, identity_start(comm), objective, opts);
+  EXPECT_EQ(res.accepted_swaps, 0);
+  EXPECT_EQ(res.mapping.comm.rank_to_core(), comm.rank_to_core());
+}
+
+TEST(Refine, PolishesHeuristicOutput) {
+  // Starting from RMH (already good), refinement must hold or improve it.
+  const Machine m = Machine::gpc(4);
+  ReorderFramework fw(m);
+  const Communicator comm(
+      m, make_layout(m, 32,
+                     LayoutSpec{simmpi::NodeOrder::Cyclic,
+                                simmpi::SocketOrder::Bunch}));
+  const auto start = fw.reorder(comm, mapping::Pattern::Ring);
+  const auto objective = allgather_objective(AllgatherAlgo::Ring, 64 * 1024,
+                                             OrderFix::None,
+                                             simmpi::CostConfig{});
+  RefineOptions opts;
+  opts.max_swaps = 100;
+  const RefineResult res =
+      refine_by_simulation(comm, start, objective, opts);
+  EXPECT_LE(res.final_objective, res.start_objective * 1.0001);
+}
+
+}  // namespace
+}  // namespace tarr::core

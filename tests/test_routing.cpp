@@ -1,0 +1,118 @@
+#include "topology/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "topology/fattree.hpp"
+
+namespace tarr::topology {
+namespace {
+
+/// Walks the path and checks every hop is a valid traversal.
+void expect_valid_path(const SwitchGraph& g, const Router& r, NodeId src,
+                       NodeId dst) {
+  NetVertexId at = g.host_vertex(src);
+  for (LinkId l : r.path(src, dst)) at = g.other_end(l, at);
+  EXPECT_EQ(at, g.host_vertex(dst));
+}
+
+TEST(Router, EmptyPathForSelf) {
+  const SwitchGraph g = build_single_switch_network(3);
+  const Router r(g);
+  EXPECT_EQ(r.hops(1, 1), 0);
+  EXPECT_TRUE(r.path(2, 2).empty());
+}
+
+TEST(Router, SingleSwitchTwoHops) {
+  const SwitchGraph g = build_single_switch_network(4);
+  const Router r(g);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_EQ(r.hops(a, b), 2);
+      }
+    }
+  }
+}
+
+TEST(Router, AllPairsValidOnGpc) {
+  const SwitchGraph g = build_gpc_network(90);  // 3 leaves
+  const Router r(g);
+  for (NodeId a = 0; a < 90; a += 7)
+    for (NodeId b = 0; b < 90; b += 11)
+      if (a != b) expect_valid_path(g, r, a, b);
+}
+
+TEST(Router, GpcHopCountsByLocality) {
+  const SwitchGraph g = build_gpc_network(240);  // 8 leaves, 2 line groups
+  const Router r(g);
+  // Same leaf: host-leaf-host.
+  EXPECT_EQ(r.hops(0, 1), 2);
+  EXPECT_EQ(r.hops(0, 29), 2);
+  // Different leaves, same line-switch group (leaves 0..5 share line 0):
+  // host-leaf-line-leaf-host.
+  EXPECT_EQ(r.hops(0, 30), 4);
+  EXPECT_EQ(r.hops(0, 5 * 30), 4);
+  // Different line groups (leaf 0 vs leaf 6): via a spine, 6 hops.
+  EXPECT_EQ(r.hops(0, 6 * 30), 6);
+}
+
+TEST(Router, HopsAreSymmetric) {
+  const SwitchGraph g = build_gpc_network(240);
+  const Router r(g);
+  for (NodeId a = 0; a < 240; a += 13)
+    for (NodeId b = 0; b < 240; b += 17)
+      EXPECT_EQ(r.hops(a, b), r.hops(b, a));
+}
+
+TEST(Router, DeterministicAcrossInstances) {
+  const SwitchGraph g = build_gpc_network(120);
+  const Router r1(g), r2(g);
+  for (NodeId a = 0; a < 120; a += 10) {
+    for (NodeId b = 0; b < 120; b += 9) {
+      if (a == b) continue;
+      const auto p1 = r1.path(a, b);
+      const auto p2 = r2.path(a, b);
+      ASSERT_EQ(p1.size(), p2.size());
+      for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+    }
+  }
+}
+
+TEST(Router, SpreadsTrafficAcrossUplinks) {
+  // Flows from leaf 0 to many distinct far-away destinations should not all
+  // take the same first uplink (destination-based spreading).
+  const SwitchGraph g = build_gpc_network(960);
+  const Router r(g);
+  std::set<LinkId> first_uplinks;
+  for (NodeId dst = 300; dst < 960; dst += 30) {
+    const auto p = r.path(0, dst);
+    ASSERT_GE(p.size(), 2u);
+    first_uplinks.insert(p[1]);  // p[0] is the host link
+  }
+  EXPECT_GT(first_uplinks.size(), 1u);
+}
+
+TEST(Router, PathUsesShortestRoute) {
+  // In a two-level fat tree every inter-leaf route is exactly 4 hops.
+  const SwitchGraph g = build_two_level_fattree(16, 4, 3);
+  const Router r(g);
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(r.hops(a, b), a / 4 == b / 4 ? 2 : 4);
+    }
+  }
+}
+
+TEST(Router, OutOfRangeThrows) {
+  const SwitchGraph g = build_single_switch_network(2);
+  const Router r(g);
+  EXPECT_THROW(r.path(0, 2), Error);
+  EXPECT_THROW(r.path(-1, 0), Error);
+}
+
+}  // namespace
+}  // namespace tarr::topology

@@ -1,0 +1,99 @@
+#include "mapping/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/distance.hpp"
+
+namespace tarr::mapping {
+namespace {
+
+using topology::DistanceMatrix;
+
+/// A simple line-metric distance matrix over n slots.
+DistanceMatrix line_distances(int n) {
+  DistanceMatrix d(n);
+  for (int a = 0; a < n; ++a)
+    for (int b = a + 1; b < n; ++b)
+      d.set(a, b, static_cast<float>(b - a));
+  return d;
+}
+
+TEST(MappingState, FixesRankZero) {
+  const DistanceMatrix d = line_distances(4);
+  Rng rng(1);
+  MappingState st({2, 0, 1, 3}, d, rng);
+  EXPECT_TRUE(st.is_mapped(0));
+  EXPECT_EQ(st.slot_of(0), 2);  // rank 0 stays on its current slot
+  EXPECT_EQ(st.num_mapped(), 1);
+  EXPECT_FALSE(st.done());
+}
+
+TEST(MappingState, FindClosestPicksMinimumDistance) {
+  const DistanceMatrix d = line_distances(8);
+  Rng rng(1);
+  MappingState st({3, 0, 1, 7}, d, rng);
+  // Free slots are {0, 1, 7}; closest to slot 3 is 1.
+  EXPECT_EQ(st.find_closest_to(0), 1);
+}
+
+TEST(MappingState, TieBreakIsRandomButValid) {
+  // Slots 2 and 4 are equidistant from slot 3.
+  const DistanceMatrix d = line_distances(8);
+  int picked2 = 0, picked4 = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(seed);
+    MappingState st({3, 2, 4}, d, rng);
+    const int s = st.find_closest_to(0);
+    EXPECT_TRUE(s == 2 || s == 4);
+    (s == 2 ? picked2 : picked4)++;
+  }
+  EXPECT_GT(picked2, 0);
+  EXPECT_GT(picked4, 0);
+}
+
+TEST(MappingState, AssignConsumesSlot) {
+  const DistanceMatrix d = line_distances(4);
+  Rng rng(1);
+  MappingState st({0, 1, 2, 3}, d, rng);
+  st.assign(2, 1);
+  EXPECT_TRUE(st.is_mapped(2));
+  EXPECT_EQ(st.slot_of(2), 1);
+  EXPECT_THROW(st.assign(3, 1), Error);  // slot already taken
+  EXPECT_THROW(st.assign(2, 3), Error);  // rank already mapped
+}
+
+TEST(MappingState, MapCloseToWalksOutward) {
+  const DistanceMatrix d = line_distances(8);
+  Rng rng(1);
+  MappingState st({4, 3, 5, 0, 7}, d, rng);
+  st.map_close_to(1, 0);  // picks 3 or 5
+  st.map_close_to(2, 0);  // picks the other of 3/5
+  const int a = st.slot_of(1);
+  const int b = st.slot_of(2);
+  EXPECT_TRUE((a == 3 && b == 5) || (a == 5 && b == 3));
+}
+
+TEST(MappingState, FirstUnmappedAndResult) {
+  const DistanceMatrix d = line_distances(3);
+  Rng rng(1);
+  MappingState st({0, 1, 2}, d, rng);
+  EXPECT_EQ(st.first_unmapped(), 1);
+  st.assign(1, 1);
+  EXPECT_EQ(st.first_unmapped(), 2);
+  EXPECT_THROW(st.result(), Error);  // incomplete
+  st.assign(2, 2);
+  EXPECT_EQ(st.first_unmapped(), kNoRank);
+  EXPECT_EQ(st.result(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MappingState, RejectsBadInput) {
+  const DistanceMatrix d = line_distances(4);
+  Rng rng(1);
+  EXPECT_THROW(MappingState({0, 0}, d, rng), Error);   // duplicate slot
+  EXPECT_THROW(MappingState({0, 9}, d, rng), Error);   // outside matrix
+  EXPECT_THROW(MappingState({}, d, rng), Error);       // empty
+}
+
+}  // namespace
+}  // namespace tarr::mapping

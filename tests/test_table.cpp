@@ -1,0 +1,63 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tarr {
+namespace {
+
+TEST(TextTable, NumFormatsDecimals) {
+  EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.236, 2), "1.24");
+  EXPECT_EQ(TextTable::num(-5.0, 0), "-5");
+  EXPECT_EQ(TextTable::num(0.5, 1), "0.5");
+}
+
+TEST(TextTable, BytesFormatsUnits) {
+  EXPECT_EQ(TextTable::bytes(1), "1");
+  EXPECT_EQ(TextTable::bytes(512), "512");
+  EXPECT_EQ(TextTable::bytes(1024), "1K");
+  EXPECT_EQ(TextTable::bytes(256 * 1024), "256K");
+  EXPECT_EQ(TextTable::bytes(3 * 1024 * 1024), "3M");
+  EXPECT_EQ(TextTable::bytes(1536), "1536");  // not a whole K
+  EXPECT_EQ(TextTable::bytes(1ll << 30), "1G");
+}
+
+TEST(TextTable, RenderContainsAllCells) {
+  TextTable t;
+  t.set_header({"msg", "impr"});
+  t.add_row({"1K", "42.00"});
+  t.add_row({"256K", "-3.50"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("msg"), std::string::npos);
+  EXPECT_NE(out.find("42.00"), std::string::npos);
+  EXPECT_NE(out.find("256K"), std::string::npos);
+  EXPECT_NE(out.find("-3.50"), std::string::npos);
+}
+
+TEST(TextTable, RenderAlignsColumns) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "22"});
+  const std::string out = t.render();
+  // Every line has the same length (trailing spaces aside, the second
+  // column starts at a fixed offset).
+  std::size_t first_nl = out.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsAreAllowed) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, EmptyTableRenders) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+}
+
+}  // namespace
+}  // namespace tarr
