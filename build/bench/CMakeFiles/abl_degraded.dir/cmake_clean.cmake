@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_degraded.dir/abl_degraded.cpp.o"
+  "CMakeFiles/abl_degraded.dir/abl_degraded.cpp.o.d"
+  "abl_degraded"
+  "abl_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hier_intra.dir/abl_hier_intra.cpp.o"
+  "CMakeFiles/abl_hier_intra.dir/abl_hier_intra.cpp.o.d"
+  "abl_hier_intra"
+  "abl_hier_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hier_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_orderfix.dir/abl_orderfix.cpp.o"
+  "CMakeFiles/abl_orderfix.dir/abl_orderfix.cpp.o.d"
+  "abl_orderfix"
+  "abl_orderfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_orderfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

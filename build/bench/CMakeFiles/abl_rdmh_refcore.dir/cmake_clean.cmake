@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rdmh_refcore.dir/abl_rdmh_refcore.cpp.o"
+  "CMakeFiles/abl_rdmh_refcore.dir/abl_rdmh_refcore.cpp.o.d"
+  "abl_rdmh_refcore"
+  "abl_rdmh_refcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rdmh_refcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

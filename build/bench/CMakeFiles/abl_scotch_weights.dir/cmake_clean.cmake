@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_scotch_weights.dir/abl_scotch_weights.cpp.o"
+  "CMakeFiles/abl_scotch_weights.dir/abl_scotch_weights.cpp.o.d"
+  "abl_scotch_weights"
+  "abl_scotch_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_scotch_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

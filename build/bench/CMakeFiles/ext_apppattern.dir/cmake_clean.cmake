@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_apppattern.dir/ext_apppattern.cpp.o"
+  "CMakeFiles/ext_apppattern.dir/ext_apppattern.cpp.o.d"
+  "ext_apppattern"
+  "ext_apppattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_apppattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

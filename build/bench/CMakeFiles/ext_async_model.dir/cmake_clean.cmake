@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_async_model.dir/ext_async_model.cpp.o"
+  "CMakeFiles/ext_async_model.dir/ext_async_model.cpp.o.d"
+  "ext_async_model"
+  "ext_async_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_async_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bigsmp.dir/ext_bigsmp.cpp.o"
+  "CMakeFiles/ext_bigsmp.dir/ext_bigsmp.cpp.o.d"
+  "ext_bigsmp"
+  "ext_bigsmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bigsmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_congestion.dir/ext_congestion.cpp.o"
+  "CMakeFiles/ext_congestion.dir/ext_congestion.cpp.o.d"
+  "ext_congestion"
+  "ext_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

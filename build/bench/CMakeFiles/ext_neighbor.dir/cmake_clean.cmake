@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_neighbor.dir/ext_neighbor.cpp.o"
+  "CMakeFiles/ext_neighbor.dir/ext_neighbor.cpp.o.d"
+  "ext_neighbor"
+  "ext_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_simrefine.dir/ext_simrefine.cpp.o"
+  "CMakeFiles/ext_simrefine.dir/ext_simrefine.cpp.o.d"
+  "ext_simrefine"
+  "ext_simrefine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_simrefine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_patterns.dir/fig1_patterns.cpp.o"
+  "CMakeFiles/fig1_patterns.dir/fig1_patterns.cpp.o.d"
+  "fig1_patterns"
+  "fig1_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_nonhier.dir/fig3_nonhier.cpp.o"
+  "CMakeFiles/fig3_nonhier.dir/fig3_nonhier.cpp.o.d"
+  "fig3_nonhier"
+  "fig3_nonhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_nonhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

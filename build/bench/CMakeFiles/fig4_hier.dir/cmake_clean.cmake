@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hier.dir/fig4_hier.cpp.o"
+  "CMakeFiles/fig4_hier.dir/fig4_hier.cpp.o.d"
+  "fig4_hier"
+  "fig4_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_app_nonhier.dir/fig5_app_nonhier.cpp.o"
+  "CMakeFiles/fig5_app_nonhier.dir/fig5_app_nonhier.cpp.o.d"
+  "fig5_app_nonhier"
+  "fig5_app_nonhier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_app_nonhier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

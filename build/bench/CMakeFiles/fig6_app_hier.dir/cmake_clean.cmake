@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_app_hier.dir/fig6_app_hier.cpp.o"
+  "CMakeFiles/fig6_app_hier.dir/fig6_app_hier.cpp.o.d"
+  "fig6_app_hier"
+  "fig6_app_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_app_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

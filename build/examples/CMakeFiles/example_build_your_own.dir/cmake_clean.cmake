@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_build_your_own.dir/build_your_own.cpp.o"
+  "CMakeFiles/example_build_your_own.dir/build_your_own.cpp.o.d"
+  "example_build_your_own"
+  "example_build_your_own.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_build_your_own.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

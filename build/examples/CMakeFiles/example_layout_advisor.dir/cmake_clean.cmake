@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_layout_advisor.dir/layout_advisor.cpp.o"
+  "CMakeFiles/example_layout_advisor.dir/layout_advisor.cpp.o.d"
+  "example_layout_advisor"
+  "example_layout_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_layout_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mapping_playground.dir/mapping_playground.cpp.o"
+  "CMakeFiles/example_mapping_playground.dir/mapping_playground.cpp.o.d"
+  "example_mapping_playground"
+  "example_mapping_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mapping_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

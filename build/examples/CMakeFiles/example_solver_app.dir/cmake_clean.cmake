@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_app.dir/solver_app.cpp.o"
+  "CMakeFiles/example_solver_app.dir/solver_app.cpp.o.d"
+  "example_solver_app"
+  "example_solver_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tarrmap_cli.dir/tarrmap_cli.cpp.o"
+  "CMakeFiles/example_tarrmap_cli.dir/tarrmap_cli.cpp.o.d"
+  "example_tarrmap_cli"
+  "example_tarrmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tarrmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topology_explorer.dir/topology_explorer.cpp.o"
+  "CMakeFiles/example_topology_explorer.dir/topology_explorer.cpp.o.d"
+  "example_topology_explorer"
+  "example_topology_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topology_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_benchlib.dir/appmodel.cpp.o"
+  "CMakeFiles/tarr_benchlib.dir/appmodel.cpp.o.d"
+  "CMakeFiles/tarr_benchlib.dir/csv.cpp.o"
+  "CMakeFiles/tarr_benchlib.dir/csv.cpp.o.d"
+  "CMakeFiles/tarr_benchlib.dir/sweep.cpp.o"
+  "CMakeFiles/tarr_benchlib.dir/sweep.cpp.o.d"
+  "libtarr_benchlib.a"
+  "libtarr_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

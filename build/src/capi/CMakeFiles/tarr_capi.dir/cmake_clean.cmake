@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_capi.dir/tarr_c.cpp.o"
+  "CMakeFiles/tarr_capi.dir/tarr_c.cpp.o.d"
+  "libtarr_capi.a"
+  "libtarr_capi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_capi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/allgather.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/allgather.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/allgather.cpp.o.d"
+  "/root/repo/src/collectives/allgatherv.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/allgatherv.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/allgatherv.cpp.o.d"
+  "/root/repo/src/collectives/allreduce.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/allreduce.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/allreduce.cpp.o.d"
+  "/root/repo/src/collectives/alltoall.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/alltoall.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/alltoall.cpp.o.d"
+  "/root/repo/src/collectives/collective.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/collective.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/collective.cpp.o.d"
+  "/root/repo/src/collectives/gather_bcast.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/gather_bcast.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/gather_bcast.cpp.o.d"
+  "/root/repo/src/collectives/hierarchical.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/hierarchical.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/collectives/neighbor.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/neighbor.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/neighbor.cpp.o.d"
+  "/root/repo/src/collectives/orderfix.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/orderfix.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/orderfix.cpp.o.d"
+  "/root/repo/src/collectives/reduce_barrier.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/reduce_barrier.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/reduce_barrier.cpp.o.d"
+  "/root/repo/src/collectives/selector.cpp" "src/collectives/CMakeFiles/tarr_collectives.dir/selector.cpp.o" "gcc" "src/collectives/CMakeFiles/tarr_collectives.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/tarr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tarr_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_collectives.dir/allgather.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/allgather.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/allgatherv.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/allgatherv.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/allreduce.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/allreduce.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/alltoall.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/alltoall.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/collective.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/collective.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/gather_bcast.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/gather_bcast.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/hierarchical.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/hierarchical.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/neighbor.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/neighbor.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/orderfix.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/orderfix.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/reduce_barrier.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/reduce_barrier.cpp.o.d"
+  "CMakeFiles/tarr_collectives.dir/selector.cpp.o"
+  "CMakeFiles/tarr_collectives.dir/selector.cpp.o.d"
+  "libtarr_collectives.a"
+  "libtarr_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_common.dir/error.cpp.o"
+  "CMakeFiles/tarr_common.dir/error.cpp.o.d"
+  "CMakeFiles/tarr_common.dir/permutation.cpp.o"
+  "CMakeFiles/tarr_common.dir/permutation.cpp.o.d"
+  "CMakeFiles/tarr_common.dir/rng.cpp.o"
+  "CMakeFiles/tarr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tarr_common.dir/table.cpp.o"
+  "CMakeFiles/tarr_common.dir/table.cpp.o.d"
+  "libtarr_common.a"
+  "libtarr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

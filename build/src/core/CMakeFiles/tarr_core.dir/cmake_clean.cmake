@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_core.dir/adaptive.cpp.o"
+  "CMakeFiles/tarr_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/tarr_core.dir/framework.cpp.o"
+  "CMakeFiles/tarr_core.dir/framework.cpp.o.d"
+  "CMakeFiles/tarr_core.dir/info.cpp.o"
+  "CMakeFiles/tarr_core.dir/info.cpp.o.d"
+  "CMakeFiles/tarr_core.dir/refine.cpp.o"
+  "CMakeFiles/tarr_core.dir/refine.cpp.o.d"
+  "CMakeFiles/tarr_core.dir/topoallgather.cpp.o"
+  "CMakeFiles/tarr_core.dir/topoallgather.cpp.o.d"
+  "libtarr_core.a"
+  "libtarr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

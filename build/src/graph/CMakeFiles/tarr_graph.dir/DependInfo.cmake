@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/apppattern.cpp" "src/graph/CMakeFiles/tarr_graph.dir/apppattern.cpp.o" "gcc" "src/graph/CMakeFiles/tarr_graph.dir/apppattern.cpp.o.d"
+  "/root/repo/src/graph/bisection.cpp" "src/graph/CMakeFiles/tarr_graph.dir/bisection.cpp.o" "gcc" "src/graph/CMakeFiles/tarr_graph.dir/bisection.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/tarr_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/tarr_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/pattern.cpp" "src/graph/CMakeFiles/tarr_graph.dir/pattern.cpp.o" "gcc" "src/graph/CMakeFiles/tarr_graph.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

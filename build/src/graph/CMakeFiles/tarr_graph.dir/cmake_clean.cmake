@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_graph.dir/apppattern.cpp.o"
+  "CMakeFiles/tarr_graph.dir/apppattern.cpp.o.d"
+  "CMakeFiles/tarr_graph.dir/bisection.cpp.o"
+  "CMakeFiles/tarr_graph.dir/bisection.cpp.o.d"
+  "CMakeFiles/tarr_graph.dir/graph.cpp.o"
+  "CMakeFiles/tarr_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/tarr_graph.dir/pattern.cpp.o"
+  "CMakeFiles/tarr_graph.dir/pattern.cpp.o.d"
+  "libtarr_graph.a"
+  "libtarr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

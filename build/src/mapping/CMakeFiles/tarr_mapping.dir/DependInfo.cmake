@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/bbmh.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/bbmh.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/bbmh.cpp.o.d"
+  "/root/repo/src/mapping/bgmh.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/bgmh.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/bgmh.cpp.o.d"
+  "/root/repo/src/mapping/bkmh.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/bkmh.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/bkmh.cpp.o.d"
+  "/root/repo/src/mapping/comparators.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/comparators.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/comparators.cpp.o.d"
+  "/root/repo/src/mapping/mapcost.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/mapcost.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/mapcost.cpp.o.d"
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/mapper.cpp.o.d"
+  "/root/repo/src/mapping/rdmh.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/rdmh.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/rdmh.cpp.o.d"
+  "/root/repo/src/mapping/rmh.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/rmh.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/rmh.cpp.o.d"
+  "/root/repo/src/mapping/scheme.cpp" "src/mapping/CMakeFiles/tarr_mapping.dir/scheme.cpp.o" "gcc" "src/mapping/CMakeFiles/tarr_mapping.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tarr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tarr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

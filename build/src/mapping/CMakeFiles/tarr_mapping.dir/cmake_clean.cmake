@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_mapping.dir/bbmh.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/bbmh.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/bgmh.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/bgmh.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/bkmh.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/bkmh.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/comparators.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/comparators.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/mapcost.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/mapcost.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/rdmh.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/rdmh.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/rmh.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/rmh.cpp.o.d"
+  "CMakeFiles/tarr_mapping.dir/scheme.cpp.o"
+  "CMakeFiles/tarr_mapping.dir/scheme.cpp.o.d"
+  "libtarr_mapping.a"
+  "libtarr_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/async.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/async.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/async.cpp.o.d"
+  "/root/repo/src/simmpi/communicator.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/communicator.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/communicator.cpp.o.d"
+  "/root/repo/src/simmpi/costmodel.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/costmodel.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/costmodel.cpp.o.d"
+  "/root/repo/src/simmpi/engine.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/engine.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/engine.cpp.o.d"
+  "/root/repo/src/simmpi/layout.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/layout.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/layout.cpp.o.d"
+  "/root/repo/src/simmpi/split.cpp" "src/simmpi/CMakeFiles/tarr_simmpi.dir/split.cpp.o" "gcc" "src/simmpi/CMakeFiles/tarr_simmpi.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tarr_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_simmpi.dir/async.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/async.cpp.o.d"
+  "CMakeFiles/tarr_simmpi.dir/communicator.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/communicator.cpp.o.d"
+  "CMakeFiles/tarr_simmpi.dir/costmodel.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/costmodel.cpp.o.d"
+  "CMakeFiles/tarr_simmpi.dir/engine.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/engine.cpp.o.d"
+  "CMakeFiles/tarr_simmpi.dir/layout.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/layout.cpp.o.d"
+  "CMakeFiles/tarr_simmpi.dir/split.cpp.o"
+  "CMakeFiles/tarr_simmpi.dir/split.cpp.o.d"
+  "libtarr_simmpi.a"
+  "libtarr_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

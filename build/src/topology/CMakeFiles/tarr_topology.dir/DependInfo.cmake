@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/direct.cpp" "src/topology/CMakeFiles/tarr_topology.dir/direct.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/direct.cpp.o.d"
+  "/root/repo/src/topology/distance.cpp" "src/topology/CMakeFiles/tarr_topology.dir/distance.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/distance.cpp.o.d"
+  "/root/repo/src/topology/fattree.cpp" "src/topology/CMakeFiles/tarr_topology.dir/fattree.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/fattree.cpp.o.d"
+  "/root/repo/src/topology/machine.cpp" "src/topology/CMakeFiles/tarr_topology.dir/machine.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/machine.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/tarr_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/network.cpp.o.d"
+  "/root/repo/src/topology/routing.cpp" "src/topology/CMakeFiles/tarr_topology.dir/routing.cpp.o" "gcc" "src/topology/CMakeFiles/tarr_topology.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarr_topology.dir/direct.cpp.o"
+  "CMakeFiles/tarr_topology.dir/direct.cpp.o.d"
+  "CMakeFiles/tarr_topology.dir/distance.cpp.o"
+  "CMakeFiles/tarr_topology.dir/distance.cpp.o.d"
+  "CMakeFiles/tarr_topology.dir/fattree.cpp.o"
+  "CMakeFiles/tarr_topology.dir/fattree.cpp.o.d"
+  "CMakeFiles/tarr_topology.dir/machine.cpp.o"
+  "CMakeFiles/tarr_topology.dir/machine.cpp.o.d"
+  "CMakeFiles/tarr_topology.dir/network.cpp.o"
+  "CMakeFiles/tarr_topology.dir/network.cpp.o.d"
+  "CMakeFiles/tarr_topology.dir/routing.cpp.o"
+  "CMakeFiles/tarr_topology.dir/routing.cpp.o.d"
+  "libtarr_topology.a"
+  "libtarr_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarr_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

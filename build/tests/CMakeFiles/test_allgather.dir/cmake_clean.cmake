@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allgather.dir/test_allgather.cpp.o"
+  "CMakeFiles/test_allgather.dir/test_allgather.cpp.o.d"
+  "test_allgather"
+  "test_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

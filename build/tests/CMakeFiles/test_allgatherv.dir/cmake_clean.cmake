@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allgatherv.dir/test_allgatherv.cpp.o"
+  "CMakeFiles/test_allgatherv.dir/test_allgatherv.cpp.o.d"
+  "test_allgatherv"
+  "test_allgatherv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allgatherv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

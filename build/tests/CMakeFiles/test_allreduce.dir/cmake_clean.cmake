@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allreduce.dir/test_allreduce.cpp.o"
+  "CMakeFiles/test_allreduce.dir/test_allreduce.cpp.o.d"
+  "test_allreduce"
+  "test_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apppattern.dir/test_apppattern.cpp.o"
+  "CMakeFiles/test_apppattern.dir/test_apppattern.cpp.o.d"
+  "test_apppattern"
+  "test_apppattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apppattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

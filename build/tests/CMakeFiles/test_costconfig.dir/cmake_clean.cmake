@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costconfig.dir/test_costconfig.cpp.o"
+  "CMakeFiles/test_costconfig.dir/test_costconfig.cpp.o.d"
+  "test_costconfig"
+  "test_costconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

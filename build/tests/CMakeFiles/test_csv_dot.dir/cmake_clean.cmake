@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csv_dot.dir/test_csv_dot.cpp.o"
+  "CMakeFiles/test_csv_dot.dir/test_csv_dot.cpp.o.d"
+  "test_csv_dot"
+  "test_csv_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csv_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

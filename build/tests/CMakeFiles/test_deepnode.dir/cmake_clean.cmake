@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deepnode.dir/test_deepnode.cpp.o"
+  "CMakeFiles/test_deepnode.dir/test_deepnode.cpp.o.d"
+  "test_deepnode"
+  "test_deepnode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deepnode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

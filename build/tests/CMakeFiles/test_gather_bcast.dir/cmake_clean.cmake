@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gather_bcast.dir/test_gather_bcast.cpp.o"
+  "CMakeFiles/test_gather_bcast.dir/test_gather_bcast.cpp.o.d"
+  "test_gather_bcast"
+  "test_gather_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gather_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_info_failures.dir/test_info_failures.cpp.o"
+  "CMakeFiles/test_info_failures.dir/test_info_failures.cpp.o.d"
+  "test_info_failures"
+  "test_info_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_info_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapcost.dir/test_mapcost.cpp.o"
+  "CMakeFiles/test_mapcost.dir/test_mapcost.cpp.o.d"
+  "test_mapcost"
+  "test_mapcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

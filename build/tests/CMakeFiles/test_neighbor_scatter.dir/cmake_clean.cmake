@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neighbor_scatter.dir/test_neighbor_scatter.cpp.o"
+  "CMakeFiles/test_neighbor_scatter.dir/test_neighbor_scatter.cpp.o.d"
+  "test_neighbor_scatter"
+  "test_neighbor_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neighbor_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orderfix.dir/test_orderfix.cpp.o"
+  "CMakeFiles/test_orderfix.dir/test_orderfix.cpp.o.d"
+  "test_orderfix"
+  "test_orderfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orderfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

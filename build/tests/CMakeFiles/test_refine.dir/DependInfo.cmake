@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/test_refine.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/test_refine.dir/test_refine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capi/CMakeFiles/tarr_capi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tarr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench/CMakeFiles/tarr_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/tarr_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/tarr_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/tarr_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tarr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/tarr_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tarr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

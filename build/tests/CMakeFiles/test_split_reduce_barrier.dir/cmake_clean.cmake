@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_reduce_barrier.dir/test_split_reduce_barrier.cpp.o"
+  "CMakeFiles/test_split_reduce_barrier.dir/test_split_reduce_barrier.cpp.o.d"
+  "test_split_reduce_barrier"
+  "test_split_reduce_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_reduce_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topoallgather.dir/test_topoallgather.cpp.o"
+  "CMakeFiles/test_topoallgather.dir/test_topoallgather.cpp.o.d"
+  "test_topoallgather"
+  "test_topoallgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topoallgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
