@@ -1,0 +1,48 @@
+#pragma once
+
+#include "check/collective_auditor.hpp"
+#include "common/error.hpp"
+#include "simmpi/engine.hpp"
+
+/// \file audit_engine.hpp
+/// One-line adapters binding the CollectiveAuditor to a simmpi::Engine.
+///
+/// Header-only on purpose: the check library itself must not link against
+/// simmpi (the Engine consults check::StageVerifier, so the link dependency
+/// runs the other way); these inline wrappers compile into the caller, which
+/// already links both.  The engine must outlive the returned auditor.
+
+namespace tarr::check {
+
+/// Auditor reading the engine's final Data-mode block tags.
+inline CollectiveAuditor make_auditor(const simmpi::Engine& eng) {
+  TARR_REQUIRE(eng.mode() == simmpi::ExecMode::Data,
+               "collective audit requires a Data-mode engine");
+  return CollectiveAuditor(
+      eng.comm().size(),
+      [&eng](Rank r, int block) { return eng.block(r, block); });
+}
+
+/// Audit a finished allgather run (any algorithm, any reordering, any §V-B
+/// fix): every rank must hold all p tags in original-rank order.
+inline void audit_allgather(const simmpi::Engine& eng) {
+  make_auditor(eng).expect_allgather();
+}
+
+/// Audit a finished gather run: the root holds all p tags in rank order.
+inline void audit_gather(const simmpi::Engine& eng) {
+  make_auditor(eng).expect_gather();
+}
+
+/// Audit a finished bcast run: `root_tag` arrived everywhere.
+inline void audit_bcast(const simmpi::Engine& eng, std::uint32_t root_tag) {
+  make_auditor(eng).expect_bcast(root_tag);
+}
+
+/// Audit a finished scatter run: new rank j holds tag oldrank[j] at block j.
+inline void audit_scatter(const simmpi::Engine& eng,
+                          const std::vector<Rank>& oldrank) {
+  make_auditor(eng).expect_scatter(oldrank);
+}
+
+}  // namespace tarr::check

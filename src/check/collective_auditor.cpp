@@ -1,0 +1,59 @@
+#include "check/collective_auditor.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tarr::check {
+
+CollectiveAuditor::CollectiveAuditor(int num_ranks, BlockReader reader)
+    : num_ranks_(num_ranks), reader_(std::move(reader)) {
+  TARR_REQUIRE(num_ranks_ >= 1, "CollectiveAuditor: num_ranks must be >= 1");
+  TARR_REQUIRE(static_cast<bool>(reader_),
+               "CollectiveAuditor: block reader must be callable");
+}
+
+void CollectiveAuditor::expect_tag(Rank r, int block, std::uint32_t want,
+                                   const char* op) const {
+  const std::uint32_t got = reader_(r, block);
+  TARR_REQUIRE(got == want,
+               std::string(op) + " contract violated: rank " +
+                   std::to_string(r) + " block " + std::to_string(block) +
+                   " carries tag " + std::to_string(got) + ", expected " +
+                   std::to_string(want));
+}
+
+void CollectiveAuditor::expect_allgather() const {
+  for (Rank r = 0; r < num_ranks_; ++r)
+    for (int b = 0; b < num_ranks_; ++b)
+      expect_tag(r, b, static_cast<std::uint32_t>(b), "allgather");
+}
+
+void CollectiveAuditor::expect_gather() const {
+  for (int b = 0; b < num_ranks_; ++b)
+    expect_tag(0, b, static_cast<std::uint32_t>(b), "gather");
+}
+
+void CollectiveAuditor::expect_bcast(std::uint32_t root_tag) const {
+  for (Rank r = 0; r < num_ranks_; ++r) expect_tag(r, 0, root_tag, "bcast");
+}
+
+void CollectiveAuditor::expect_scatter(const std::vector<Rank>& oldrank) const {
+  TARR_REQUIRE(static_cast<int>(oldrank.size()) == num_ranks_,
+               "scatter audit: oldrank size mismatch");
+  for (Rank j = 0; j < num_ranks_; ++j)
+    expect_tag(j, j, static_cast<std::uint32_t>(oldrank[j]), "scatter");
+}
+
+void CollectiveAuditor::expect_alltoall(
+    const std::vector<Rank>& oldrank, int recv_base,
+    const std::function<std::uint32_t(Rank, Rank)>& tag_of) const {
+  TARR_REQUIRE(static_cast<int>(oldrank.size()) == num_ranks_,
+               "alltoall audit: oldrank size mismatch");
+  for (Rank j = 0; j < num_ranks_; ++j)
+    for (Rank i = 0; i < num_ranks_; ++i)
+      expect_tag(j, recv_base + i, tag_of(i, oldrank[j]), "alltoall");
+}
+
+}  // namespace tarr::check

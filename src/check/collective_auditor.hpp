@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file collective_auditor.hpp
+/// Static cross-check of a finished Data-mode collective run against the
+/// operation's specification.
+///
+/// The Data-mode engine moves real block *tags*; after a collective
+/// completes, the final tag layout is fully determined by the operation's
+/// contract and independent of the algorithm, the rank reordering, and the
+/// §V-B order-fix mechanism used.  The auditor states those contracts once —
+/// replacing the per-test ad-hoc verification loops — and throws tarr::Error
+/// naming the first (rank, block) that deviates.
+///
+/// Tag conventions audited (matching the collective layer's seeding):
+///  * allgather:  every rank's block b carries tag b (original-rank order);
+///  * gather:     the root (new rank 0) holds tag b at block b, in order;
+///  * bcast:      every rank's block 0 carries the root's message tag;
+///  * scatter:    new rank j holds tag oldrank[j] at block j;
+///  * alltoall:   new rank j's receive slot p+i carries tag(i, oldrank[j]).
+///
+/// The auditor reads blocks through a callback so it stays independent of
+/// the Engine type (and unit-testable against synthetic layouts); see
+/// check/audit_engine.hpp for the one-line Engine adapters.
+
+namespace tarr::check {
+
+/// Reads the final tag of (rank, block) from a finished Data-mode run.
+using BlockReader = std::function<std::uint32_t(Rank, int)>;
+
+/// See file comment.
+class CollectiveAuditor {
+ public:
+  /// The reader must remain valid for the auditor's lifetime.
+  CollectiveAuditor(int num_ranks, BlockReader reader);
+
+  /// Allgather contract: every rank holds all p tags in original-rank order.
+  void expect_allgather() const;
+
+  /// Gather contract: the root (new rank 0) holds all p tags in original-
+  /// rank order.  Other ranks' buffers are scratch and not audited.
+  void expect_gather() const;
+
+  /// Bcast contract: every rank's block 0 carries `root_tag`.
+  void expect_bcast(std::uint32_t root_tag) const;
+
+  /// Scatter contract: new rank j holds tag oldrank[j] at block j.
+  void expect_scatter(const std::vector<Rank>& oldrank) const;
+
+  /// Alltoall contract: new rank j's receive slot recv_base + i carries
+  /// `tag_of(i, oldrank[j])` for every original peer i.
+  void expect_alltoall(
+      const std::vector<Rank>& oldrank, int recv_base,
+      const std::function<std::uint32_t(Rank, Rank)>& tag_of) const;
+
+ private:
+  void expect_tag(Rank r, int block, std::uint32_t want,
+                  const char* op) const;
+
+  int num_ranks_;
+  BlockReader reader_;
+};
+
+}  // namespace tarr::check

@@ -1,0 +1,56 @@
+#include "check/mapping_verifier.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace tarr::check {
+
+namespace {
+
+/// Multiset of slots as a slot -> count map (slot universes are sparse when
+/// a communicator covers a subset of the machine's cores).
+std::unordered_map<int, int> slot_counts(const std::vector<int>& slots) {
+  std::unordered_map<int, int> counts;
+  counts.reserve(slots.size());
+  for (const int s : slots) ++counts[s];
+  return counts;
+}
+
+}  // namespace
+
+void verify_mapping(const std::string& mapper, const std::vector<int>& input,
+                    const std::vector<int>& result) {
+  TARR_REQUIRE(result.size() == input.size(),
+               "mapping invariant violated [" + mapper + "]: returned " +
+                   std::to_string(result.size()) + " assignments for " +
+                   std::to_string(input.size()) + " ranks");
+
+  const std::unordered_map<int, int> universe = slot_counts(input);
+  for (const auto& [slot, count] : universe) {
+    TARR_REQUIRE(count == 1, "mapping invariant violated [" + mapper +
+                                 "]: input slot " + std::to_string(slot) +
+                                 " hosts more than one rank");
+  }
+
+  std::unordered_map<int, int> seen;
+  seen.reserve(result.size());
+  for (std::size_t new_rank = 0; new_rank < result.size(); ++new_rank) {
+    const int slot = result[new_rank];
+    TARR_REQUIRE(universe.contains(slot),
+                 "mapping invariant violated [" + mapper + "]: new rank " +
+                     std::to_string(new_rank) + " assigned slot " +
+                     std::to_string(slot) + " outside the slot universe");
+    TARR_REQUIRE(++seen[slot] == 1,
+                 "mapping invariant violated [" + mapper + "]: slot " +
+                     std::to_string(slot) +
+                     " assigned to more than one rank (not a bijection)");
+  }
+}
+
+void verify_hierarchical_composition(const std::vector<int>& original_cores,
+                                     const std::vector<int>& composed_cores) {
+  verify_mapping("hierarchical composition", original_cores, composed_cores);
+}
+
+}  // namespace tarr::check

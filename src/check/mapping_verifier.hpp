@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file mapping_verifier.hpp
+/// Verification of mapper output at every Mapper boundary.
+///
+/// Every mapper in this library receives the initial assignment
+/// `rank_to_slot[i] = slot hosting rank i` and must return a *bijection onto
+/// the same slot universe*: each input slot used exactly once, no slot
+/// invented, no slot dropped.  A mapper that silently violates this produces
+/// a "reordered communicator" in which two ranks share a core or a core
+/// falls out of the communicator — and every simulated time measured over it
+/// is meaningless.  These checks throw tarr::Error naming the offending
+/// mapper and the violated invariant.
+
+namespace tarr::check {
+
+/// Throws unless `result` is a bijection onto the slot universe of `input`
+/// (`mapper` names the source in the error message).  Also rejects a
+/// malformed *input* (duplicate slots), which indicates corruption upstream
+/// of the mapper.
+void verify_mapping(const std::string& mapper, const std::vector<int>& input,
+                    const std::vector<int>& result);
+
+/// Hierarchical two-level composition check: the composed per-rank core
+/// assignment must still be a bijection onto the original communicator's
+/// core set (leader-level permutation of node blocks composed with per-node
+/// intra-level permutations preserves bijectivity; this verifies the
+/// composition code did not break it).
+void verify_hierarchical_composition(const std::vector<int>& original_cores,
+                                     const std::vector<int>& composed_cores);
+
+}  // namespace tarr::check

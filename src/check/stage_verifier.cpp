@@ -1,0 +1,94 @@
+#include "check/stage_verifier.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace tarr::check {
+
+namespace {
+
+std::string at(Rank r, int block) {
+  return " (rank " + std::to_string(r) + ", block " + std::to_string(block) +
+         ")";
+}
+
+}  // namespace
+
+StageVerifier::StageVerifier(int num_ranks, int buf_blocks,
+                             std::vector<CoreId> core_of_rank)
+    : num_ranks_(num_ranks),
+      buf_blocks_(buf_blocks),
+      core_of_rank_(std::move(core_of_rank)) {
+  TARR_REQUIRE(num_ranks_ >= 1, "StageVerifier: num_ranks must be >= 1");
+  TARR_REQUIRE(buf_blocks_ >= 1, "StageVerifier: buf_blocks must be >= 1");
+  TARR_REQUIRE(static_cast<int>(core_of_rank_.size()) == num_ranks_,
+               "StageVerifier: core_of_rank size must equal num_ranks");
+  writes_.assign(cell(num_ranks_ - 1, buf_blocks_ - 1) + 1, WriteKind::None);
+}
+
+void StageVerifier::on_begin_stage() {
+  TARR_REQUIRE(!stage_open_,
+               "schedule invariant violated [protocol]: begin_stage while the "
+               "previous stage is still open");
+  stage_open_ = true;
+  stage_transfers_ = 0;
+}
+
+void StageVerifier::on_transfer(Rank src, int src_off, Rank dst, int dst_off,
+                                int nblocks, bool combining) {
+  TARR_REQUIRE(stage_open_,
+               "schedule invariant violated [protocol]: transfer outside an "
+               "open stage");
+  TARR_REQUIRE(src >= 0 && src < num_ranks_ && dst >= 0 && dst < num_ranks_,
+               "schedule invariant violated [bounds]: endpoint rank outside "
+               "the communicator");
+  TARR_REQUIRE(nblocks >= 1,
+               "schedule invariant violated [bounds]: transfer of zero blocks");
+  TARR_REQUIRE(src_off >= 0 && src_off + nblocks <= buf_blocks_,
+               "schedule invariant violated [bounds]: source range outside "
+               "the buffer");
+  TARR_REQUIRE(dst_off >= 0 && dst_off + nblocks <= buf_blocks_,
+               "schedule invariant violated [bounds]: destination range "
+               "outside the buffer");
+  TARR_REQUIRE(src == dst || core_of_rank_[src] != core_of_rank_[dst],
+               "schedule invariant violated [pricing]: transfer between "
+               "distinct ranks sharing core " +
+                   std::to_string(core_of_rank_[src]) +
+                   " would be priced as remote");
+
+  const WriteKind kind = combining ? WriteKind::Combine : WriteKind::Overwrite;
+  for (int k = 0; k < nblocks; ++k) {
+    const std::size_t c = cell(dst, dst_off + k);
+    const WriteKind prev = writes_[c];
+    if (prev == WriteKind::None) {
+      writes_[c] = kind;
+      touched_.push_back(c);
+      continue;
+    }
+    // Two combines commute; every other pairing is order-dependent.
+    TARR_REQUIRE(prev == WriteKind::Combine && kind == WriteKind::Combine,
+                 std::string("schedule invariant violated [determinism]: ") +
+                     (prev == WriteKind::Overwrite && kind == WriteKind::Overwrite
+                          ? "write-write conflict"
+                          : "write-combine conflict") +
+                     at(dst, dst_off + k) + " within one stage");
+  }
+  ++stage_transfers_;
+}
+
+void StageVerifier::on_end_stage() {
+  TARR_REQUIRE(stage_open_,
+               "schedule invariant violated [protocol]: end_stage without an "
+               "open stage");
+  TARR_REQUIRE(stage_transfers_ >= 1,
+               "schedule invariant violated [progress]: stage " +
+                   std::to_string(stages_verified_) +
+                   " closed with zero transfers");
+  for (const std::size_t c : touched_) writes_[c] = WriteKind::None;
+  touched_.clear();
+  stage_open_ = false;
+  ++stages_verified_;
+}
+
+}  // namespace tarr::check

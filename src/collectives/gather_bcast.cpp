@@ -65,7 +65,7 @@ Usec run_gather(simmpi::Engine& eng, TreeAlgo algo, OrderFix fix,
 Usec run_bcast(simmpi::Engine& eng, TreeAlgo algo) {
   const int p = eng.comm().size();
   const Usec before = eng.total();
-  eng.set_block(0, 0, 0xb0adca57u);
+  eng.set_block(0, 0, kBcastMessageTag);
 
   if (algo == TreeAlgo::Linear) {
     // Root pushes the message to each rank in turn (sender serialization).

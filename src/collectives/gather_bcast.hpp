@@ -20,6 +20,10 @@ namespace tarr::collectives {
 /// Tree shape of a gather/bcast.
 enum class TreeAlgo { Linear, Binomial };
 
+/// Tag run_bcast seeds at the root's block 0; in Data mode every rank must
+/// hold it afterwards (check::audit_bcast verifies exactly that).
+inline constexpr std::uint32_t kBcastMessageTag = 0xb0adca57u;
+
 /// Gather every rank's block to new rank 0, output in original-rank order
 /// (§V-B fix applied; Linear needs no fix mechanism beyond slot addressing,
 /// so `fix` is ignored for it).  Linear is modeled as p-1 serialized

@@ -189,16 +189,30 @@ Usec run_hier_allgather_pipelined(simmpi::Engine& eng, IntraAlgo gather_algo,
                cpn);
   };
 
+  // Whether superstage t carries any transfer at all (trailing superstages
+  // of the drain can be dead when the ring is longer than the broadcast
+  // depth; a dead stage must not reach the engine — the schedule verifier
+  // rejects stages with zero transfers).
+  auto superstage_live = [&](int t) {
+    if (t < ring_steps) return true;
+    if (cpn > 1) {
+      for (int k = 1; k <= depth; ++k) {
+        const int avail = t - k + 1;
+        if (avail == 0 || (avail >= 1 && avail - 1 < ring_steps)) return true;
+      }
+    }
+    return false;
+  };
+
   for (int t = 0; t < superstages; ++t) {
+    if (!superstage_live(t)) continue;
     eng.begin_stage();
-    bool any = false;
     if (t < ring_steps) {
       for (int b = 0; b < nodes; ++b) {
         const int origin = (b - t + nodes) % nodes;
         eng.copy(b * cpn, origin * cpn, ((b + 1) % nodes) * cpn,
                  origin * cpn, cpn);
       }
-      any = true;
     }
     if (cpn > 1) {
       for (int b = 0; b < nodes; ++b) {
@@ -206,21 +220,15 @@ Usec run_hier_allgather_pipelined(simmpi::Engine& eng, IntraAlgo gather_algo,
           const int avail = t - k + 1;  // availability superstage of chunk
           if (avail == 0) {
             emit_bcast_substage(b, b, k);
-            any = true;
           } else if (avail >= 1 && avail - 1 < ring_steps) {
             const int s = avail - 1;  // ring step that delivered it
             const int origin = (b - 1 - s + nodes) % nodes;
             emit_bcast_substage(b, origin, k);
-            any = true;
           }
         }
       }
     }
-    if (any) {
-      eng.end_stage();
-    } else {
-      eng.end_stage();  // empty drain stage costs nothing
-    }
+    eng.end_stage();
   }
 
   if (fix == OrderFix::EndShuffle) end_shuffle(eng, oldrank);

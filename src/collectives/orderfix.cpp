@@ -1,5 +1,6 @@
 #include "collectives/orderfix.hpp"
 
+#include "check/audit_engine.hpp"
 #include "common/error.hpp"
 #include "common/permutation.hpp"
 
@@ -48,16 +49,7 @@ void end_shuffle(simmpi::Engine& eng, const std::vector<Rank>& oldrank) {
 }
 
 void check_allgather_output(const simmpi::Engine& eng) {
-  TARR_REQUIRE(eng.mode() == simmpi::ExecMode::Data,
-               "check_allgather_output: requires Data mode");
-  const int p = eng.comm().size();
-  for (Rank r = 0; r < p; ++r) {
-    for (int b = 0; b < p; ++b) {
-      TARR_REQUIRE(eng.block(r, b) == static_cast<std::uint32_t>(b),
-                   "allgather output out of order at rank " +
-                       std::to_string(r) + " block " + std::to_string(b));
-    }
-  }
+  check::audit_allgather(eng);
 }
 
 }  // namespace tarr::collectives

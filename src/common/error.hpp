@@ -22,6 +22,17 @@ namespace detail {
 
 }  // namespace tarr
 
+/// True when the heavyweight verification tier (CMake option
+/// TARR_SLOW_CHECKS=ON) is compiled in.  Code that wires verifiers into hot
+/// paths can branch on this constant so the disabled tier costs nothing.
+namespace tarr {
+#if defined(TARR_SLOW_CHECKS)
+inline constexpr bool kSlowChecksEnabled = true;
+#else
+inline constexpr bool kSlowChecksEnabled = false;
+#endif
+}  // namespace tarr
+
 /// Precondition / invariant check that is always on (cheap checks only on hot
 /// paths; heavyweight validation belongs behind TARR_CHECK_SLOW).
 #define TARR_REQUIRE(cond, msg)                                      \
@@ -30,3 +41,17 @@ namespace detail {
       ::tarr::detail::throw_error(#cond, __FILE__, __LINE__, (msg)); \
     }                                                                \
   } while (0)
+
+/// Heavyweight invariant check: identical to TARR_REQUIRE when the build has
+/// TARR_SLOW_CHECKS=ON, compiled out entirely (condition not evaluated)
+/// otherwise.  Use for O(p^2)-style validation on paths where an always-on
+/// check would distort the timings the benchmarks measure.
+#if defined(TARR_SLOW_CHECKS)
+#define TARR_CHECK_SLOW(cond, msg) TARR_REQUIRE(cond, msg)
+#else
+#define TARR_CHECK_SLOW(cond, msg) \
+  do {                             \
+    (void)sizeof((cond));          \
+    (void)sizeof((msg));           \
+  } while (0)
+#endif

@@ -1,5 +1,6 @@
 #include "core/framework.hpp"
 
+#include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
 #include "common/permutation.hpp"
 #include "common/timer.hpp"
@@ -42,7 +43,7 @@ ReorderedComm ReorderFramework::reorder_with(const simmpi::Communicator& comm,
   WallTimer t;
   Rng rng(opts_.seed);
   std::vector<int> new_rank_to_core =
-      mapper.map(comm.rank_to_core(), d, rng);
+      mapper.checked_map(comm.rank_to_core(), d, rng);
   const double map_seconds = t.seconds();
 
   simmpi::Communicator reordered = comm.reordered(std::move(new_rank_to_core));
@@ -66,6 +67,9 @@ ReorderedComm ReorderFramework::reorder_for_graph(
       kind == GraphMapperKind::Greedy
           ? mapping::greedy_graph_map(pattern, comm.rank_to_core(), d, rng)
           : mapping::scotch_like_map(pattern, comm.rank_to_core(), rng);
+  check::verify_mapping(kind == GraphMapperKind::Greedy ? "greedy-graph"
+                                                        : "scotch-like",
+                        comm.rank_to_core(), new_rank_to_core);
   const double map_seconds = t.seconds();
 
   simmpi::Communicator reordered = comm.reordered(std::move(new_rank_to_core));
@@ -99,7 +103,7 @@ ReorderedComm ReorderFramework::reorder_hierarchical(
   std::vector<int> block_to_node(nodes);
   for (int b = 0; b < nodes; ++b) block_to_node[b] = comm.node_of(b * cpn);
   const std::vector<int> new_block_to_node =
-      leader_mapper.map(block_to_node, *node_dist_, rng);
+      leader_mapper.checked_map(block_to_node, *node_dist_, rng);
 
   // Original block index for each node (to find that node's rank group).
   std::vector<int> block_of_node(m.num_nodes(), -1);
@@ -116,10 +120,15 @@ ReorderedComm ReorderFramework::reorder_hierarchical(
       local_slots[k] = m.local_core(comm.core_of(ob * cpn + k));
     std::vector<int> new_local = local_slots;
     if (intra_mapper != nullptr)
-      new_local = intra_mapper->map(local_slots, *intra_dist_, rng);
+      new_local = intra_mapper->checked_map(local_slots, *intra_dist_, rng);
     for (int k = 0; k < cpn; ++k)
       new_rank_to_core[nb * cpn + k] = m.core_id(node, new_local[k]);
   }
+  // The two-level composition must still be a bijection onto the original
+  // core set; a bug in the block/core bookkeeping above would otherwise
+  // surface only as nonsense timings.
+  check::verify_hierarchical_composition(comm.rank_to_core(),
+                                         new_rank_to_core);
   const double map_seconds = t.seconds();
 
   simmpi::Communicator reordered = comm.reordered(std::move(new_rank_to_core));

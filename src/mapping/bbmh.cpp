@@ -45,7 +45,7 @@ std::vector<int> BbmhMapper::map(const std::vector<int>& rank_to_slot,
                                  Rng& rng) const {
   const int p = static_cast<int>(rank_to_slot.size());
   MappingState st(rank_to_slot, d, rng);
-  if (p == 1) return st.result();
+  if (p == 1) return finish_mapping(st, name(), rank_to_slot);
 
   switch (order_) {
     case BbmhTraversal::SmallSubtreeFirst:
@@ -66,7 +66,7 @@ std::vector<int> BbmhMapper::map(const std::vector<int>& rank_to_slot,
       break;
     }
   }
-  return st.result();
+  return finish_mapping(st, name(), rank_to_slot);
 }
 
 }  // namespace tarr::mapping

@@ -15,7 +15,7 @@ std::vector<int> BgmhMapper::map(const std::vector<int>& rank_to_slot,
                                  Rng& rng) const {
   const int p = static_cast<int>(rank_to_slot.size());
   MappingState st(rank_to_slot, d, rng);
-  if (p == 1) return st.result();
+  if (p == 1) return finish_mapping(st, name(), rank_to_slot);
 
   std::vector<Rank> v{0};  // potential reference cores, insertion order
   for (int i = static_cast<int>(ceil_pow2(p) / 2); i >= 1; i /= 2) {
@@ -30,7 +30,7 @@ std::vector<int> BgmhMapper::map(const std::vector<int>& rank_to_slot,
       v.push_back(child);
     }
   }
-  return st.result();
+  return finish_mapping(st, name(), rank_to_slot);
 }
 
 }  // namespace tarr::mapping

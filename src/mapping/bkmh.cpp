@@ -14,7 +14,7 @@ std::vector<int> BkmhMapper::map(const std::vector<int>& rank_to_slot,
                                  Rng& rng) const {
   const int p = static_cast<int>(rank_to_slot.size());
   MappingState st(rank_to_slot, d, rng);
-  if (p == 1) return st.result();
+  if (p == 1) return finish_mapping(st, name(), rank_to_slot);
 
   const int top = static_cast<int>(floor_pow2(p - 1));
   Rank ref = 0;
@@ -31,7 +31,7 @@ std::vector<int> BkmhMapper::map(const std::vector<int>& rank_to_slot,
       placed_around_ref = 0;
     }
   }
-  return st.result();
+  return finish_mapping(st, name(), rank_to_slot);
 }
 
 }  // namespace tarr::mapping

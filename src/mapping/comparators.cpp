@@ -4,6 +4,7 @@
 #include <queue>
 #include <vector>
 
+#include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
 #include "graph/bisection.hpp"
 #include "graph/pattern.hpp"
@@ -57,6 +58,8 @@ std::vector<int> MvapichCyclicMapper::map(
       if (idx < p) result[r++] = sorted[idx];
     }
   }
+  if constexpr (kSlowChecksEnabled)
+    check::verify_mapping("MVAPICH-cyclic", rank_to_slot, result);
   return result;
 }
 
@@ -99,7 +102,7 @@ std::vector<int> greedy_graph_map(const graph::WeightedGraph& g,
     st.map_close_to(next, ref);
     push_frontier(next);
   }
-  return st.result();
+  return finish_mapping(st, "greedy-graph", rank_to_slot);
 }
 
 std::vector<int> GreedyGraphMapper::map(const std::vector<int>& rank_to_slot,
@@ -156,6 +159,8 @@ std::vector<int> scotch_like_map(const graph::WeightedGraph& g,
   for (int i = 0; i < p; ++i) vertices[i] = i;
   std::vector<int> result(p, -1);
   scotch_recurse(g, std::move(vertices), slots, 0, p, rng, result);
+  if constexpr (kSlowChecksEnabled)
+    check::verify_mapping("scotch-like", rank_to_slot, result);
   return result;
 }
 

@@ -1,10 +1,19 @@
 #include "mapping/mapper.hpp"
 
+#include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/heuristics.hpp"
 
 namespace tarr::mapping {
+
+std::vector<int> Mapper::checked_map(const std::vector<int>& rank_to_slot,
+                                     const topology::DistanceMatrix& d,
+                                     Rng& rng) const {
+  std::vector<int> result = map(rank_to_slot, d, rng);
+  check::verify_mapping(name(), rank_to_slot, result);
+  return result;
+}
 
 const char* to_string(Pattern p) {
   switch (p) {

@@ -51,6 +51,15 @@ class Mapper {
   virtual std::vector<int> map(const std::vector<int>& rank_to_slot,
                                const topology::DistanceMatrix& d,
                                Rng& rng) const = 0;
+
+  /// map() followed by check::verify_mapping: throws tarr::Error naming this
+  /// mapper if the result is not a bijection onto the input slot set.  The
+  /// verification is O(p) and always on — every consumer that feeds a
+  /// mapping into a communicator (the reorder framework, tools) should call
+  /// this instead of map().
+  std::vector<int> checked_map(const std::vector<int>& rank_to_slot,
+                               const topology::DistanceMatrix& d,
+                               Rng& rng) const;
 };
 
 /// The paper's fine-tuned heuristic for `p` (RDMH/RMH/BBMH/BGMH/BKMH).

@@ -35,7 +35,7 @@ std::vector<int> RdmhMapper::map(const std::vector<int>& rank_to_slot,
       placed_around_ref = 0;
     }
   }
-  return st.result();
+  return finish_mapping(st, name(), rank_to_slot);
 }
 
 }  // namespace tarr::mapping

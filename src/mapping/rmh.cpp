@@ -17,7 +17,7 @@ std::vector<int> RmhMapper::map(const std::vector<int>& rank_to_slot,
     st.map_close_to(next, ref);
     ref = next;
   }
-  return st.result();
+  return finish_mapping(st, name(), rank_to_slot);
 }
 
 }  // namespace tarr::mapping

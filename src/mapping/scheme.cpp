@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
 
 namespace tarr::mapping {
@@ -77,6 +78,16 @@ void MappingState::assign(Rank rank, int slot) {
   free_index_[slot] = -1;
   assignment_[rank] = slot;
   ++mapped_;
+  // The swap-remove pool and its index must stay mutually consistent; a
+  // bookkeeping slip here surfaces far away as a duplicate assignment.
+  // O(p) per placement, so only in TARR_SLOW_CHECKS builds.
+  TARR_CHECK_SLOW(
+      [this] {
+        for (std::size_t i = 0; i < free_slots_.size(); ++i)
+          if (free_index_[free_slots_[i]] != static_cast<int>(i)) return false;
+        return true;
+      }(),
+      "assign: free-slot pool and index out of sync");
 }
 
 void MappingState::map_close_to(Rank rank, Rank ref_rank) {
@@ -92,6 +103,15 @@ Rank MappingState::first_unmapped() const {
 std::vector<int> MappingState::result() const {
   TARR_REQUIRE(done(), "result: mapping incomplete");
   return assignment_;
+}
+
+std::vector<int> finish_mapping(const MappingState& st,
+                                const std::string& mapper,
+                                const std::vector<int>& rank_to_slot) {
+  std::vector<int> result = st.result();
+  if constexpr (kSlowChecksEnabled)
+    check::verify_mapping(mapper, rank_to_slot, result);
+  return result;
 }
 
 }  // namespace tarr::mapping

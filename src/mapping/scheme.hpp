@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -67,5 +68,12 @@ class MappingState {
   std::vector<int> free_index_;   // slot -> index in free_slots_ or -1
   int mapped_ = 0;
 };
+
+/// st.result() plus, in TARR_SLOW_CHECKS builds, a bijectivity re-check of
+/// the heuristic's own output against the initial assignment (see
+/// check/mapping_verifier.hpp).  Every heuristic returns through this.
+std::vector<int> finish_mapping(const MappingState& st,
+                                const std::string& mapper,
+                                const std::vector<int>& rank_to_slot);
 
 }  // namespace tarr::mapping

@@ -149,6 +149,17 @@ Usec CostModel::finish_stage() {
   touched_links_.clear();
   touched_qpi_.clear();
   touched_sockets_.clear();
+  // The touched-list reset must leave no residual load behind — a leak here
+  // silently inflates contention in every later stage.  Full sweep of all
+  // three load arrays, so only in TARR_SLOW_CHECKS builds.
+  TARR_CHECK_SLOW(
+      std::all_of(link_bytes_.begin(), link_bytes_.end(),
+                  [](double b) { return b == 0.0; }) &&
+          std::all_of(qpi_bytes_.begin(), qpi_bytes_.end(),
+                      [](double b) { return b == 0.0; }) &&
+          std::all_of(socket_bytes_.begin(), socket_bytes_.end(),
+                      [](double b) { return b == 0.0; }),
+      "finish_stage: residual load after touched-list reset");
   stage_open_ = false;
   return stage;
 }

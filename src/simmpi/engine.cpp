@@ -21,6 +21,10 @@ Engine::Engine(const Communicator& comm, const CostConfig& cfg, ExecMode mode,
                 std::vector<std::uint32_t>(buf_blocks, kEmptyTag));
   }
   local_bytes_per_rank_scratch_.assign(comm.size(), 0.0);
+  if constexpr (kSlowChecksEnabled) {
+    verifier_ = std::make_unique<check::StageVerifier>(
+        comm.size(), buf_blocks, comm.rank_to_core());
+  }
 }
 
 void Engine::set_block(Rank r, int off, std::uint32_t tag) {
@@ -39,6 +43,7 @@ std::uint32_t Engine::block(Rank r, int off) const {
 
 void Engine::begin_stage() {
   TARR_REQUIRE(!stage_open_, "begin_stage: previous stage still open");
+  if (verifier_) verifier_->on_begin_stage();
   stage_open_ = true;
   cost_.begin_stage();
 }
@@ -63,6 +68,8 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
                "copy: source range out of buffer");
   TARR_REQUIRE(dst_off >= 0 && dst_off + nblocks <= buf_blocks_,
                "copy: destination range out of buffer");
+  if (verifier_)
+    verifier_->on_transfer(src, src_off, dst, dst_off, nblocks, combining);
 
   const Bytes bytes = static_cast<Bytes>(nblocks) * block_bytes_;
   if (src == dst) {
@@ -84,6 +91,7 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
 
 Usec Engine::end_stage() {
   TARR_REQUIRE(stage_open_, "end_stage: no open stage");
+  if (verifier_) verifier_->on_end_stage();
   Usec stage = cost_.finish_stage();
   for (Rank r = 0; r < comm_->size(); ++r) {
     if (local_bytes_per_rank_scratch_[r] > 0.0) {

@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "check/stage_verifier.hpp"
 #include "simmpi/communicator.hpp"
 #include "simmpi/costmodel.hpp"
 
@@ -145,6 +147,10 @@ class Engine {
   int stages_executed_ = 0;
   StageObserver observer_;
   TransferObserver transfer_observer_;
+  // Slow-check tier: shadows the stage protocol and rejects malformed
+  // schedules (see check/stage_verifier.hpp).  Null unless the build has
+  // TARR_SLOW_CHECKS=ON.
+  std::unique_ptr<check::StageVerifier> verifier_;
 };
 
 }  // namespace tarr::simmpi

@@ -97,6 +97,10 @@ TEST_P(FuzzSeeds, TimedEqualsDataOnRandomSchedules) {
   };
   std::vector<std::vector<Copy>> stages(1 + rng.next_below(6));
   for (auto& stage : stages) {
+    // Keep the schedule well-formed: within a stage no destination block may
+    // be written twice (the engine's schedule verifier rejects such
+    // non-deterministic stages), so drop candidates that collide.
+    std::vector<char> written(static_cast<std::size_t>(p) * blocks, 0);
     const int k = 1 + static_cast<int>(rng.next_below(12));
     for (int i = 0; i < k; ++i) {
       Copy c;
@@ -105,6 +109,12 @@ TEST_P(FuzzSeeds, TimedEqualsDataOnRandomSchedules) {
       c.n = 1 + static_cast<int>(rng.next_below(blocks));
       c.soff = static_cast<int>(rng.next_below(blocks - c.n + 1));
       c.doff = static_cast<int>(rng.next_below(blocks - c.n + 1));
+      const std::size_t base =
+          static_cast<std::size_t>(c.dst) * blocks + c.doff;
+      bool clashes = false;
+      for (int b = 0; b < c.n; ++b) clashes |= written[base + b] != 0;
+      if (clashes) continue;
+      for (int b = 0; b < c.n; ++b) written[base + b] = 1;
       stage.push_back(c);
     }
   }

@@ -4,6 +4,7 @@
 
 #include <tuple>
 
+#include "check/audit_engine.hpp"
 #include "common/error.hpp"
 #include "common/permutation.hpp"
 #include "core/framework.hpp"
@@ -42,10 +43,7 @@ TEST_P(GatherCorrectness, RootHoldsBlocksInOriginalOrder) {
 
   Engine eng(use, simmpi::CostConfig{}, ExecMode::Data, 64, p);
   run_gather(eng, algo, fix, oldrank);
-  for (int b = 0; b < p; ++b) {
-    EXPECT_EQ(eng.block(0, b), static_cast<std::uint32_t>(b))
-        << "root block " << b << " out of order";
-  }
+  check::audit_gather(eng);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -96,7 +94,7 @@ TEST_P(BcastCorrectness, EveryRankReceivesTheMessage) {
   const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
   Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 64, 1);
   run_bcast(eng, algo);
-  for (Rank r = 0; r < p; ++r) EXPECT_EQ(eng.block(r, 0), 0xb0adca57u);
+  check::audit_bcast(eng, kBcastMessageTag);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -114,9 +112,7 @@ TEST_P(ScatterAllgatherBcast, ReassemblesTheMessageEverywhere) {
   const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
   Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 64, p);
   run_bcast_scatter_allgather(eng, AllgatherAlgo::Ring);
-  for (Rank r = 0; r < p; ++r)
-    for (int b = 0; b < p; ++b)
-      EXPECT_EQ(eng.block(r, b), static_cast<std::uint32_t>(b));
+  check::audit_allgather(eng);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, ScatterAllgatherBcast,
@@ -127,9 +123,7 @@ TEST(ScatterAllgatherBcastRd, PowerOfTwoUsesRecursiveDoubling) {
   const Communicator comm(m, make_layout(m, 16, LayoutSpec{}));
   Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 64, 16);
   run_bcast_scatter_allgather(eng, AllgatherAlgo::RecursiveDoubling);
-  for (Rank r = 0; r < 16; ++r)
-    for (int b = 0; b < 16; ++b)
-      EXPECT_EQ(eng.block(r, b), static_cast<std::uint32_t>(b));
+  check::audit_allgather(eng);
 }
 
 TEST(ScatterAllgatherBcastRd, BruckPhaseRejected) {

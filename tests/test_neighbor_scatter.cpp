@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/audit_engine.hpp"
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
 #include "collectives/neighbor.hpp"
@@ -87,10 +88,7 @@ TEST_P(ScatterCorrectness, EveryRankGetsItsBlock) {
   }
   Engine eng(use, simmpi::CostConfig{}, ExecMode::Data, 64, p);
   run_scatter(eng, algo, oldrank);
-  for (Rank j = 0; j < p; ++j) {
-    EXPECT_EQ(eng.block(j, j), static_cast<std::uint32_t>(oldrank[j]))
-        << "rank " << j;
-  }
+  check::audit_scatter(eng, oldrank);
 }
 
 INSTANTIATE_TEST_SUITE_P(
