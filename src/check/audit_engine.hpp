@@ -45,4 +45,25 @@ inline void audit_scatter(const simmpi::Engine& eng,
   make_auditor(eng).expect_scatter(oldrank);
 }
 
+/// Audit a shrink-and-continue allgather over survivors (`parent_rank[j]` =
+/// survivor j's rank in the pre-failure communicator of `parent_size`).
+inline void audit_shrunken_allgather(const simmpi::Engine& eng,
+                                     int parent_size,
+                                     const std::vector<Rank>& parent_rank) {
+  make_auditor(eng).expect_shrunken_allgather(parent_size, parent_rank);
+}
+
+/// Audit a shrink-and-continue gather over survivors.
+inline void audit_shrunken_gather(const simmpi::Engine& eng, int parent_size,
+                                  const std::vector<Rank>& parent_rank) {
+  make_auditor(eng).expect_shrunken_gather(parent_size, parent_rank);
+}
+
+/// Audit a shrink-and-continue bcast over survivors.
+inline void audit_shrunken_bcast(const simmpi::Engine& eng, int parent_size,
+                                 const std::vector<Rank>& parent_rank,
+                                 std::uint32_t root_tag) {
+  make_auditor(eng).expect_shrunken_bcast(parent_size, parent_rank, root_tag);
+}
+
 }  // namespace tarr::check

@@ -46,6 +46,41 @@ void CollectiveAuditor::expect_scatter(const std::vector<Rank>& oldrank) const {
     expect_tag(j, j, static_cast<std::uint32_t>(oldrank[j]), "scatter");
 }
 
+void CollectiveAuditor::expect_survivor_map(
+    int parent_size, const std::vector<Rank>& parent_rank) const {
+  TARR_REQUIRE(parent_size >= num_ranks_,
+               "shrunken audit: more survivors than parent ranks");
+  TARR_REQUIRE(static_cast<int>(parent_rank.size()) == num_ranks_,
+               "shrunken audit: parent_rank size mismatch");
+  Rank prev = -1;
+  for (Rank j = 0; j < num_ranks_; ++j) {
+    TARR_REQUIRE(parent_rank[j] >= 0 && parent_rank[j] < parent_size,
+                 "shrunken audit: parent rank out of range");
+    TARR_REQUIRE(parent_rank[j] > prev,
+                 "shrunken audit: survivors must keep their relative order");
+    prev = parent_rank[j];
+  }
+}
+
+void CollectiveAuditor::expect_shrunken_allgather(
+    int parent_size, const std::vector<Rank>& parent_rank) const {
+  expect_survivor_map(parent_size, parent_rank);
+  expect_allgather();
+}
+
+void CollectiveAuditor::expect_shrunken_gather(
+    int parent_size, const std::vector<Rank>& parent_rank) const {
+  expect_survivor_map(parent_size, parent_rank);
+  expect_gather();
+}
+
+void CollectiveAuditor::expect_shrunken_bcast(
+    int parent_size, const std::vector<Rank>& parent_rank,
+    std::uint32_t root_tag) const {
+  expect_survivor_map(parent_size, parent_rank);
+  expect_bcast(root_tag);
+}
+
 void CollectiveAuditor::expect_alltoall(
     const std::vector<Rank>& oldrank, int recv_base,
     const std::function<std::uint32_t(Rank, Rank)>& tag_of) const {

@@ -58,9 +58,32 @@ class CollectiveAuditor {
       const std::vector<Rank>& oldrank, int recv_base,
       const std::function<std::uint32_t(Rank, Rank)>& tag_of) const;
 
+  /// Shrunken-run contracts (fault tolerance).  After dead processes are
+  /// excised from a size-`parent_size` communicator, the survivors run the
+  /// collective at size s = num_ranks.  `parent_rank[j]` is survivor j's
+  /// rank in the pre-failure communicator; a valid shrink preserves the
+  /// survivors' relative order, so the vector must be a strictly increasing
+  /// injection into [0, parent_size).  The data contract is then the
+  /// standard size-s contract over the survivor universe.
+  void expect_shrunken_allgather(int parent_size,
+                                 const std::vector<Rank>& parent_rank) const;
+
+  /// Shrunken gather: the surviving root holds all s survivor tags in order.
+  void expect_shrunken_gather(int parent_size,
+                              const std::vector<Rank>& parent_rank) const;
+
+  /// Shrunken bcast: `root_tag` reached every survivor.
+  void expect_shrunken_bcast(int parent_size,
+                             const std::vector<Rank>& parent_rank,
+                             std::uint32_t root_tag) const;
+
  private:
   void expect_tag(Rank r, int block, std::uint32_t want,
                   const char* op) const;
+
+  /// Validate the survivor bookkeeping shared by the shrunken contracts.
+  void expect_survivor_map(int parent_size,
+                           const std::vector<Rank>& parent_rank) const;
 
   int num_ranks_;
   BlockReader reader_;

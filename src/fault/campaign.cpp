@@ -1,0 +1,329 @@
+#include "fault/campaign.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "bench/csv.hpp"
+#include "collectives/allgather.hpp"
+#include "collectives/gather_bcast.hpp"
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "fault/degraded.hpp"
+#include "fault/fault_mask.hpp"
+#include "fault/shrink.hpp"
+#include "mapping/mapper.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+#include "topology/distance.hpp"
+#include "topology/routing.hpp"
+
+namespace tarr::fault {
+
+namespace {
+
+enum class Op { RdAllgather, RingAllgather, BinomialBcast, BinomialGather };
+
+struct PatternSpec {
+  const char* name;
+  mapping::Pattern pattern;
+  Op op;
+};
+
+// The paper's four fine-tuned heuristics, each exercised on the collective
+// it was designed for.
+constexpr PatternSpec kPatterns[] = {
+    {"rd-allgather", mapping::Pattern::RecursiveDoubling, Op::RdAllgather},
+    {"ring-allgather", mapping::Pattern::Ring, Op::RingAllgather},
+    {"binomial-bcast", mapping::Pattern::BinomialBcast, Op::BinomialBcast},
+    {"binomial-gather", mapping::Pattern::BinomialGather, Op::BinomialGather},
+};
+
+void validate(const CampaignConfig& cfg) {
+  TARR_REQUIRE(cfg.num_nodes >= 1, "campaign: num_nodes must be >= 1");
+  TARR_REQUIRE(cfg.max_ranks >= 0, "campaign: max_ranks must be >= 0");
+  TARR_REQUIRE(cfg.block_bytes >= 1, "campaign: block_bytes must be >= 1");
+  TARR_REQUIRE(cfg.trials >= 1, "campaign: trials must be >= 1");
+  TARR_REQUIRE(!cfg.failure_counts.empty(),
+               "campaign: failure_counts must not be empty");
+  for (int k : cfg.failure_counts)
+    TARR_REQUIRE(k >= 0, "campaign: failure counts must be >= 0");
+  topology::validate(cfg.tree);
+  simmpi::validate(cfg.transient);
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  // splitmix64-style finalizer over (seed, a, b) — independent, deterministic
+  // streams per (failure count, trial) and per mapping call.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (a + 1) +
+                    0xbf58476d1ce4e5b9ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Price one pattern-matched collective over `cores` on the degraded
+/// machine.  `oldrank[j]` = initial (pre-reorder) index of the process on
+/// cores[j] within the run's slot set.
+Usec price_run(const CampaignConfig& cfg, const DegradedTopology& topo,
+               const PatternSpec& spec, std::vector<CoreId> cores,
+               const std::vector<Rank>& oldrank, std::uint64_t transient_seed) {
+  const int p = static_cast<int>(cores.size());
+  simmpi::Communicator comm(topo.machine(), std::move(cores));
+  simmpi::Engine eng(comm, cfg.cost, simmpi::ExecMode::Timed,
+                     cfg.block_bytes, p);
+  if (cfg.transient.enabled()) {
+    simmpi::TransientFaultConfig t = cfg.transient;
+    t.seed = transient_seed;
+    eng.set_transient_faults(t);
+  }
+  // InitComm is the §V-B fix the evaluation uses for the heuristic path.
+  switch (spec.op) {
+    case Op::RdAllgather:
+      return collectives::run_allgather(
+          eng,
+          {collectives::AllgatherAlgo::RecursiveDoubling,
+           collectives::OrderFix::InitComm},
+          oldrank);
+    case Op::RingAllgather:
+      return collectives::run_allgather(
+          eng, {collectives::AllgatherAlgo::Ring, collectives::OrderFix::None},
+          oldrank);
+    case Op::BinomialBcast:
+      return collectives::run_bcast(eng, collectives::TreeAlgo::Binomial);
+    case Op::BinomialGather:
+      return collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
+                                     collectives::OrderFix::InitComm, oldrank);
+  }
+  throw Error("campaign: unknown op");
+}
+
+/// oldrank[j] = position of cores[j] in the baseline slot order.
+std::vector<Rank> oldrank_of(const std::vector<CoreId>& slots,
+                             const std::vector<int>& cores,
+                             int total_cores) {
+  std::vector<Rank> pos(total_cores, -1);
+  for (std::size_t i = 0; i < slots.size(); ++i)
+    pos[slots[i]] = static_cast<Rank>(i);
+  std::vector<Rank> oldrank(cores.size());
+  for (std::size_t j = 0; j < cores.size(); ++j) {
+    TARR_REQUIRE(pos[cores[j]] >= 0,
+                 "campaign: mapping returned a core outside the slot set");
+    oldrank[j] = pos[cores[j]];
+  }
+  return oldrank;
+}
+
+std::string fmt_usec(double v) { return TextTable::num(v, 3); }
+
+}  // namespace
+
+const char* to_string(FailureKind k) {
+  return k == FailureKind::Links ? "links" : "nodes";
+}
+
+CampaignResult run_fault_campaign(const CampaignConfig& cfg) {
+  validate(cfg);
+
+  const topology::Machine base(
+      topology::NodeShape{},
+      topology::build_gpc_network(cfg.num_nodes, cfg.tree));
+  const int total = base.total_cores();
+  const int cap = cfg.max_ranks > 0 ? std::min(cfg.max_ranks, total) : total;
+  const int parent_p = floor_pow2(cap);
+  const topology::DistanceMatrix pristine_d = topology::extract_distances(base);
+
+  CampaignResult result;
+  result.config = cfg;
+
+  for (std::size_t ki = 0; ki < cfg.failure_counts.size(); ++ki) {
+    const int k = cfg.failure_counts[ki];
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      const std::uint64_t trial_seed = mix_seed(cfg.seed, ki, trial);
+      Rng trial_rng(trial_seed);
+      FaultMask mask;
+      if (k > 0)
+        mask = cfg.kind == FailureKind::Links
+                   ? FaultMask::random_links(base.network(), k, trial_rng)
+                   : FaultMask::random_nodes(base.network(), k, trial_rng);
+      const DegradedTopology topo(base, std::move(mask));
+
+      // Parent communicator over the pre-failure layout, then ULFM-style
+      // shrink.  A partition is a structural outcome of the trial, not an
+      // error of the campaign.
+      const simmpi::Communicator parent(
+          topo.machine(),
+          simmpi::make_layout(topo.machine(), parent_p, simmpi::LayoutSpec{}));
+      std::vector<CoreId> slots;
+      int survivors = 0;
+      bool partitioned = false;
+      try {
+        ShrunkComm shrunk = shrink_communicator(topo, parent);
+        survivors = shrunk.comm.size();
+        const int p = floor_pow2(survivors);
+        slots.assign(shrunk.comm.rank_to_core().begin(),
+                     shrunk.comm.rank_to_core().begin() + p);
+      } catch (const topology::PartitionedError&) {
+        partitioned = true;
+      }
+
+      if (partitioned) {
+        ++result.partitioned_trials;
+        for (const PatternSpec& spec : kPatterns) {
+          CampaignRow row;
+          row.failures = k;
+          row.trial = trial;
+          row.pattern = spec.name;
+          row.mapper = mapping::make_heuristic(spec.pattern)->name();
+          row.partitioned = true;
+          result.rows.push_back(std::move(row));
+        }
+        continue;
+      }
+
+      const topology::DistanceMatrix degraded_d = topo.distances();
+      const int p = static_cast<int>(slots.size());
+      const std::vector<int> slot_ints(slots.begin(), slots.end());
+      std::vector<Rank> identity(p);
+      for (Rank j = 0; j < p; ++j) identity[j] = j;
+
+      for (std::size_t pi = 0; pi < std::size(kPatterns); ++pi) {
+        const PatternSpec& spec = kPatterns[pi];
+        const auto mapper = mapping::make_heuristic(spec.pattern);
+        const std::uint64_t run_seed = mix_seed(trial_seed, pi, 0);
+        // One mapping seed and one transient seed per row: with zero
+        // failures the stale and remap mappings are computed from identical
+        // distances and identical tie-break streams, so they coincide
+        // exactly, and the three variants see paired fault draws.
+        const std::uint64_t map_seed = mix_seed(run_seed, 1, 0);
+        const std::uint64_t fault_seed =
+            mix_seed(cfg.transient.seed, run_seed, 2);
+
+        CampaignRow row;
+        row.failures = k;
+        row.trial = trial;
+        row.pattern = spec.name;
+        row.mapper = mapper->name();
+        row.survivors = survivors;
+        row.ranks = p;
+
+        // baseline: initial layout untouched.
+        row.baseline_usec =
+            price_run(cfg, topo, spec, slots, identity, fault_seed);
+
+        // stale: the heuristic's pre-failure answer (pristine distances)
+        // replayed on the degraded fabric.
+        Rng stale_rng(map_seed);
+        const std::vector<int> stale_map =
+            mapper->checked_map(slot_ints, pristine_d, stale_rng);
+        row.stale_usec = price_run(
+            cfg, topo, spec,
+            std::vector<CoreId>(stale_map.begin(), stale_map.end()),
+            oldrank_of(slots, stale_map, total), fault_seed);
+
+        // remap: the heuristic re-run on the degraded distance matrix.
+        Rng remap_rng(map_seed);
+        const std::vector<int> remap_map =
+            mapper->checked_map(slot_ints, degraded_d, remap_rng);
+        row.remap_usec = price_run(
+            cfg, topo, spec,
+            std::vector<CoreId>(remap_map.begin(), remap_map.end()),
+            oldrank_of(slots, remap_map, total), fault_seed);
+
+        result.rows.push_back(std::move(row));
+      }
+    }
+  }
+  return result;
+}
+
+std::string CampaignResult::csv() const {
+  bench::CsvWriter w;
+  w.set_header({"kind", "failures", "trial", "pattern", "mapper", "survivors",
+                "ranks", "partitioned", "baseline_usec", "stale_usec",
+                "remap_usec"});
+  for (const CampaignRow& r : rows) {
+    w.add_row({to_string(config.kind), std::to_string(r.failures),
+               std::to_string(r.trial), r.pattern, r.mapper,
+               std::to_string(r.survivors), std::to_string(r.ranks),
+               r.partitioned ? "1" : "0",
+               r.partitioned ? "" : fmt_usec(r.baseline_usec),
+               r.partitioned ? "" : fmt_usec(r.stale_usec),
+               r.partitioned ? "" : fmt_usec(r.remap_usec)});
+  }
+  return w.to_string();
+}
+
+std::string CampaignResult::json() const {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const CampaignRow& r = rows[i];
+    os << "  {\"kind\":\"" << to_string(config.kind) << "\""
+       << ",\"failures\":" << r.failures << ",\"trial\":" << r.trial
+       << ",\"pattern\":\"" << r.pattern << "\",\"mapper\":\"" << r.mapper
+       << "\",\"survivors\":" << r.survivors << ",\"ranks\":" << r.ranks
+       << ",\"partitioned\":" << (r.partitioned ? "true" : "false");
+    if (!r.partitioned)
+      os << ",\"baseline_usec\":" << fmt_usec(r.baseline_usec)
+         << ",\"stale_usec\":" << fmt_usec(r.stale_usec)
+         << ",\"remap_usec\":" << fmt_usec(r.remap_usec);
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::string CampaignResult::summary() const {
+  struct Acc {
+    int n = 0;
+    int partitioned = 0;
+    double base = 0, stale = 0, remap = 0;
+  };
+  std::map<std::pair<int, std::string>, Acc> by_group;
+  for (const CampaignRow& r : rows) {
+    Acc& a = by_group[{r.failures, r.pattern}];
+    if (r.partitioned) {
+      ++a.partitioned;
+      continue;
+    }
+    ++a.n;
+    a.base += r.baseline_usec;
+    a.stale += r.stale_usec;
+    a.remap += r.remap_usec;
+  }
+
+  TextTable t;
+  t.set_header({"failures", "pattern", "trials", "split", "baseline(us)",
+                "stale(us)", "remap(us)", "stale_gain%", "remap_gain%"});
+  for (const auto& [key, a] : by_group) {
+    std::vector<std::string> row = {std::to_string(key.first), key.second,
+                                    std::to_string(a.n),
+                                    std::to_string(a.partitioned)};
+    if (a.n > 0) {
+      const double base = a.base / a.n;
+      const double stale = a.stale / a.n;
+      const double remap = a.remap / a.n;
+      row.push_back(TextTable::num(base, 2));
+      row.push_back(TextTable::num(stale, 2));
+      row.push_back(TextTable::num(remap, 2));
+      row.push_back(TextTable::num(100.0 * (base - stale) / base, 1));
+      row.push_back(TextTable::num(100.0 * (base - remap) / base, 1));
+    }
+    t.add_row(std::move(row));
+  }
+
+  std::ostringstream os;
+  os << "Fault campaign: " << config.num_nodes << " nodes, "
+     << to_string(config.kind) << " failures, " << config.trials
+     << " trials/count, seed " << config.seed << "\n"
+     << t.render();
+  if (partitioned_trials > 0)
+    os << partitioned_trials << " trial(s) partitioned the fabric\n";
+  return os.str();
+}
+
+}  // namespace tarr::fault

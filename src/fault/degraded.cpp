@@ -1,0 +1,20 @@
+#include "fault/degraded.hpp"
+
+namespace tarr::fault {
+
+DegradedTopology::DegradedTopology(const topology::Machine& base,
+                                   FaultMask mask)
+    : base_(&base),
+      mask_(std::move(mask)),
+      machine_(base.shape(), mask_.apply(base.network()),
+               topology::Router::HostPolicy::AllowUnreachable) {}
+
+std::vector<NodeId> DegradedTopology::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(machine_.num_nodes());
+  for (NodeId n = 0; n < machine_.num_nodes(); ++n)
+    if (node_alive(n)) out.push_back(n);
+  return out;
+}
+
+}  // namespace tarr::fault

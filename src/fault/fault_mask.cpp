@@ -1,0 +1,170 @@
+#include "fault/fault_mask.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tarr::fault {
+
+using topology::SwitchGraph;
+using topology::VertexKind;
+
+namespace {
+
+/// Insert keeping the vector sorted and unique; returns false on duplicate.
+template <typename T>
+bool sorted_insert(std::vector<T>& v, T value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) return false;
+  v.insert(it, value);
+  return true;
+}
+
+}  // namespace
+
+FaultMask& FaultMask::fail_link(LinkId l) {
+  TARR_REQUIRE(l >= 0, "fail_link: negative link id");
+  sorted_insert(failed_links_, l);
+  return *this;
+}
+
+FaultMask& FaultMask::fail_switch(NetVertexId v) {
+  TARR_REQUIRE(v >= 0, "fail_switch: negative vertex id");
+  sorted_insert(failed_switches_, v);
+  return *this;
+}
+
+FaultMask& FaultMask::fail_node(NodeId n) {
+  TARR_REQUIRE(n >= 0, "fail_node: negative node id");
+  sorted_insert(failed_nodes_, n);
+  return *this;
+}
+
+FaultMask& FaultMask::degrade_link(LinkId l, int capacity) {
+  TARR_REQUIRE(l >= 0, "degrade_link: negative link id");
+  TARR_REQUIRE(capacity >= 1, "degrade_link: capacity must be >= 1");
+  const auto it = std::lower_bound(
+      degraded_links_.begin(), degraded_links_.end(), l,
+      [](const Degrade& d, LinkId link) { return d.link < link; });
+  TARR_REQUIRE(it == degraded_links_.end() || it->link != l,
+               "degrade_link: link " + std::to_string(l) +
+                   " already degraded");
+  degraded_links_.insert(it, Degrade{l, capacity});
+  return *this;
+}
+
+bool FaultMask::node_failed(NodeId n) const {
+  return std::binary_search(failed_nodes_.begin(), failed_nodes_.end(), n);
+}
+
+void FaultMask::validate(const SwitchGraph& g) const {
+  for (LinkId l : failed_links_)
+    TARR_REQUIRE(l < g.num_links(),
+                 "FaultMask: failed link " + std::to_string(l) +
+                     " out of range");
+  for (NetVertexId v : failed_switches_) {
+    TARR_REQUIRE(v < g.num_vertices(),
+                 "FaultMask: failed switch " + std::to_string(v) +
+                     " out of range");
+    TARR_REQUIRE(g.vertex(v).kind != VertexKind::Host,
+                 "FaultMask: vertex " + std::to_string(v) +
+                     " is a host; fail the node instead of the switch");
+  }
+  for (NodeId n : failed_nodes_) {
+    TARR_REQUIRE(n < g.num_hosts(),
+                 "FaultMask: failed node " + std::to_string(n) +
+                     " out of range");
+    g.host_vertex(n);  // throws if the node has no host endpoint
+  }
+  for (const Degrade& d : degraded_links_) {
+    TARR_REQUIRE(d.link < g.num_links(),
+                 "FaultMask: degraded link " + std::to_string(d.link) +
+                     " out of range");
+    TARR_REQUIRE(d.capacity <= g.link(d.link).capacity,
+                 "FaultMask: degraded capacity " + std::to_string(d.capacity) +
+                     " exceeds link " + std::to_string(d.link) +
+                     "'s capacity of " +
+                     std::to_string(g.link(d.link).capacity));
+  }
+}
+
+SwitchGraph FaultMask::apply(const SwitchGraph& g) const {
+  validate(g);
+
+  std::vector<char> vertex_dead(g.num_vertices(), 0);
+  for (NetVertexId v : failed_switches_) vertex_dead[v] = 1;
+  for (NodeId n : failed_nodes_) vertex_dead[g.host_vertex(n)] = 1;
+
+  std::vector<char> link_dead(g.num_links(), 0);
+  for (LinkId l : failed_links_) link_dead[l] = 1;
+
+  SwitchGraph out;
+  for (NetVertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& vx = g.vertex(v);
+    out.add_vertex(vx.kind, vx.name, vx.node);
+  }
+  auto degrade = degraded_links_.begin();
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    while (degrade != degraded_links_.end() && degrade->link < l) ++degrade;
+    const auto& ln = g.link(l);
+    if (link_dead[l] || vertex_dead[ln.a] || vertex_dead[ln.b]) continue;
+    const int capacity =
+        (degrade != degraded_links_.end() && degrade->link == l)
+            ? degrade->capacity
+            : ln.capacity;
+    out.add_link(ln.a, ln.b, capacity);
+  }
+  return out;
+}
+
+std::string FaultMask::describe() const {
+  std::ostringstream os;
+  os << "FaultMask: " << failed_links_.size() << " links, "
+     << failed_switches_.size() << " switches, " << failed_nodes_.size()
+     << " nodes failed; " << degraded_links_.size() << " links degraded";
+  return os.str();
+}
+
+FaultMask FaultMask::random_links(const SwitchGraph& g, int k, Rng& rng,
+                                  bool include_host_links) {
+  TARR_REQUIRE(k >= 0, "random_links: negative failure count");
+  std::vector<LinkId> candidates;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const auto& ln = g.link(l);
+    const bool touches_host = g.vertex(ln.a).kind == VertexKind::Host ||
+                              g.vertex(ln.b).kind == VertexKind::Host;
+    if (include_host_links || !touches_host) candidates.push_back(l);
+  }
+  TARR_REQUIRE(k <= static_cast<int>(candidates.size()),
+               "random_links: asked for " + std::to_string(k) +
+                   " failures but only " +
+                   std::to_string(candidates.size()) + " eligible links");
+  // Partial Fisher-Yates: the first k entries become the sample.
+  FaultMask mask;
+  for (int i = 0; i < k; ++i) {
+    const auto j = i + static_cast<int>(rng.next_below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    mask.fail_link(candidates[i]);
+  }
+  return mask;
+}
+
+FaultMask FaultMask::random_nodes(const SwitchGraph& g, int k, Rng& rng) {
+  TARR_REQUIRE(k >= 0, "random_nodes: negative failure count");
+  TARR_REQUIRE(k <= g.num_hosts(),
+               "random_nodes: asked for " + std::to_string(k) +
+                   " failures but the graph has " +
+                   std::to_string(g.num_hosts()) + " nodes");
+  std::vector<NodeId> candidates(g.num_hosts());
+  for (NodeId n = 0; n < g.num_hosts(); ++n) candidates[n] = n;
+  FaultMask mask;
+  for (int i = 0; i < k; ++i) {
+    const auto j = i + static_cast<int>(rng.next_below(candidates.size() - i));
+    std::swap(candidates[i], candidates[j]);
+    mask.fail_node(candidates[i]);
+  }
+  return mask;
+}
+
+}  // namespace tarr::fault

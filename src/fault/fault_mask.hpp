@@ -1,0 +1,104 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "topology/network.hpp"
+
+/// \file fault_mask.hpp
+/// Declarative component-failure overlay for a SwitchGraph.
+///
+/// A FaultMask names what broke — links cut, switches dead, compute nodes
+/// dead, links running at reduced capacity — without touching the pristine
+/// graph.  apply() derives the degraded graph: vertex ids are preserved (so
+/// node/core numbering and the route-spreading hash stay stable), links
+/// incident to dead components are dropped, and degraded links keep their
+/// id but carry less capacity.  An empty mask reproduces the input graph
+/// exactly — same link ids, same capacities — which is what makes the
+/// fault-free path bit-identical to a build without the fault layer.
+///
+/// All ids refer to the *original* graph the mask is applied to; validate()
+/// (called by apply()) rejects out-of-range ids, switch failures aimed at
+/// host vertices, and nonsensical capacity degradations loudly.
+
+namespace tarr::fault {
+
+/// See file comment.  Builder calls chain: FaultMask{}.fail_link(3).fail_node(7).
+class FaultMask {
+ public:
+  /// One capacity degradation: `link` keeps running at `capacity` cables.
+  struct Degrade {
+    LinkId link = -1;
+    int capacity = 1;
+  };
+
+  /// Cut a link entirely (idempotent).
+  FaultMask& fail_link(LinkId l);
+
+  /// Kill a switch: every incident link drops.  Must not target a host
+  /// vertex — kill hosts via fail_node.
+  FaultMask& fail_switch(NetVertexId v);
+
+  /// Kill a compute node: its host endpoint loses every link, and shrink
+  /// treats every rank on it as dead.
+  FaultMask& fail_node(NodeId n);
+
+  /// Run a link at reduced capacity (cables lost from an aggregated bundle).
+  /// `capacity` must be >= 1 and at most the link's capacity at apply time.
+  FaultMask& degrade_link(LinkId l, int capacity);
+
+  bool empty() const {
+    return failed_links_.empty() && failed_switches_.empty() &&
+           failed_nodes_.empty() && degraded_links_.empty();
+  }
+
+  const std::vector<LinkId>& failed_links() const { return failed_links_; }
+  const std::vector<NetVertexId>& failed_switches() const {
+    return failed_switches_;
+  }
+  const std::vector<NodeId>& failed_nodes() const { return failed_nodes_; }
+  const std::vector<Degrade>& degraded_links() const {
+    return degraded_links_;
+  }
+
+  /// True iff n was explicitly failed via fail_node.
+  bool node_failed(NodeId n) const;
+
+  /// Total number of failed components (degradations not counted).
+  int num_failures() const {
+    return static_cast<int>(failed_links_.size() + failed_switches_.size() +
+                            failed_nodes_.size());
+  }
+
+  /// Check every id against `g`; throws tarr::Error naming the problem.
+  void validate(const topology::SwitchGraph& g) const;
+
+  /// Derived degraded graph (validates first).  Vertices are copied
+  /// unchanged; links survive unless failed directly or incident to a dead
+  /// switch/node; surviving link ids are renumbered in original order.
+  topology::SwitchGraph apply(const topology::SwitchGraph& g) const;
+
+  /// "FaultMask: 2 links, 1 switch, 0 nodes failed; 1 link degraded".
+  std::string describe() const;
+
+  /// Sample `k` distinct links to fail, uniformly from g's switch-to-switch
+  /// links (host uplinks excluded unless `include_host_links` — cutting a
+  /// host's only cable is a node loss in disguise and usually wants
+  /// fail_node semantics instead).  Deterministic in `rng`.
+  static FaultMask random_links(const topology::SwitchGraph& g, int k,
+                                Rng& rng, bool include_host_links = false);
+
+  /// Sample `k` distinct compute nodes to fail.  Deterministic in `rng`.
+  static FaultMask random_nodes(const topology::SwitchGraph& g, int k,
+                                Rng& rng);
+
+ private:
+  // Kept sorted and unique so masks compare and describe deterministically.
+  std::vector<LinkId> failed_links_;
+  std::vector<NetVertexId> failed_switches_;
+  std::vector<NodeId> failed_nodes_;
+  std::vector<Degrade> degraded_links_;  // sorted by link id
+};
+
+}  // namespace tarr::fault

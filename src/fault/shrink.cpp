@@ -1,0 +1,56 @@
+#include "fault/shrink.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "topology/routing.hpp"
+
+namespace tarr::fault {
+
+using topology::Partitioned;
+using topology::PartitionedError;
+
+ShrunkComm shrink_communicator(const DegradedTopology& topo,
+                               const simmpi::Communicator& parent) {
+  TARR_REQUIRE(parent.machine().total_cores() ==
+                   topo.machine().total_cores(),
+               "shrink_communicator: parent communicator does not match the "
+               "degraded machine's core universe");
+
+  std::vector<CoreId> survivor_cores;
+  std::vector<Rank> parent_rank;
+  std::vector<Rank> dead_ranks;
+  for (Rank r = 0; r < parent.size(); ++r) {
+    const NodeId node = parent.machine().node_of_core(parent.core_of(r));
+    if (topo.node_alive(node)) {
+      survivor_cores.push_back(parent.core_of(r));
+      parent_rank.push_back(r);
+    } else {
+      dead_ranks.push_back(r);
+    }
+  }
+  TARR_REQUIRE(!survivor_cores.empty(),
+               "shrink_communicator: no rank survived the failures");
+
+  // Continuing requires every surviving pair to be routable.  Restrict the
+  // router's component decomposition to the survivors' nodes; more than one
+  // non-empty component is a partition, reported structurally.
+  const topology::Router& router = topo.machine().router();
+  std::vector<char> used(topo.machine().num_nodes(), 0);
+  for (CoreId c : survivor_cores)
+    used[topo.machine().node_of_core(c)] = 1;
+  Partitioned restricted;
+  for (const auto& component : router.partition().components) {
+    std::vector<NodeId> members;
+    for (NodeId n : component)
+      if (used[n]) members.push_back(n);
+    if (!members.empty()) restricted.components.push_back(std::move(members));
+  }
+  if (restricted.components.size() > 1) throw PartitionedError(restricted);
+
+  return ShrunkComm{
+      simmpi::Communicator(topo.machine(), std::move(survivor_cores)),
+      std::move(parent_rank), std::move(dead_ranks)};
+}
+
+}  // namespace tarr::fault

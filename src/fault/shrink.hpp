@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "fault/degraded.hpp"
+#include "simmpi/communicator.hpp"
+
+/// \file shrink.hpp
+/// ULFM-style shrink-and-continue: excise the ranks of dead nodes from a
+/// communicator and rebuild a dense communicator over the survivors, on the
+/// degraded machine, so collective schedules rebuilt over it route around
+/// the failures automatically.
+///
+/// Survivors keep their relative rank order (MPI_Comm_shrink semantics).
+/// If the surviving nodes no longer share one network component, continuing
+/// is impossible and shrink throws the structured PartitionedError listing
+/// the surviving components — never a silently-wrong communicator.
+
+namespace tarr::fault {
+
+/// A shrunken communicator plus the bookkeeping the auditors consume.
+struct ShrunkComm {
+  /// Survivors with dense new ranks, hosted on the degraded machine.
+  simmpi::Communicator comm;
+  /// parent_rank[j] = survivor j's rank in the parent communicator
+  /// (strictly increasing — relative order is preserved).
+  std::vector<Rank> parent_rank;
+  /// Parent ranks that died, ascending.
+  std::vector<Rank> dead_ranks;
+};
+
+/// Shrink `parent` over the failures of `topo`.  The parent may live on the
+/// base or the degraded machine (both share core numbering).  Throws
+/// tarr::Error when no rank survives, and topology::PartitionedError when
+/// the survivors span more than one surviving network component (the error
+/// carries the components restricted to the survivors' nodes).  The
+/// DegradedTopology must outlive the returned communicator.
+ShrunkComm shrink_communicator(const DegradedTopology& topo,
+                               const simmpi::Communicator& parent);
+
+}  // namespace tarr::fault

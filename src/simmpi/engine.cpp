@@ -27,6 +27,52 @@ Engine::Engine(const Communicator& comm, const CostConfig& cfg, ExecMode mode,
   }
 }
 
+void Engine::set_transient_faults(const TransientFaultConfig& cfg) {
+  TARR_REQUIRE(!stage_open_ && stages_executed_ == 0,
+               "set_transient_faults: must be armed before the first stage");
+  validate(cfg);
+  if (!cfg.enabled()) return;  // zero probabilities: stay on the exact
+                               // fault-free path
+  fault_cfg_ = cfg;
+  fault_rng_.reseed(cfg.seed);
+}
+
+int Engine::draw_attempts(Bytes bytes) {
+  const TransientFaultConfig& cfg = *fault_cfg_;
+  Usec timeout = cfg.retry_timeout;
+  Usec wait = 0.0;
+  int attempts = 0;
+  bool delivered = false;
+  while (attempts < cfg.max_attempts) {
+    ++attempts;
+    ++fault_stats_.attempts;
+    const double u = fault_rng_.next_double();
+    if (u < cfg.drop_prob) {
+      // Lost in the fabric: the sender notices only after the timeout.
+      ++fault_stats_.drops;
+      fault_stats_.retransmitted_bytes += bytes;
+      wait += timeout;
+      timeout *= cfg.backoff;
+    } else if (u < cfg.drop_prob + cfg.corrupt_prob) {
+      // Checksum failure at the receiver: NACK and immediate resend.
+      ++fault_stats_.corruptions;
+      fault_stats_.retransmitted_bytes += bytes;
+    } else {
+      delivered = true;
+      break;
+    }
+  }
+  TARR_REQUIRE(delivered,
+               "transient fault: transfer still failing after " +
+                   std::to_string(cfg.max_attempts) +
+                   " attempts; fail the component via fault::FaultMask "
+                   "instead of modeling it as transient");
+  fault_stats_.retransmissions += attempts - 1;
+  fault_stats_.timeout_wait += wait;
+  stage_retry_wait_ = std::max(stage_retry_wait_, wait);
+  return attempts;
+}
+
 void Engine::set_block(Rank r, int off, std::uint32_t tag) {
   if (mode_ != ExecMode::Data) return;
   TARR_REQUIRE(r >= 0 && r < comm_->size(), "set_block: rank out of range");
@@ -75,7 +121,13 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
   if (src == dst) {
     local_bytes_per_rank_scratch_[src] += static_cast<double>(bytes);
   } else {
-    cost_.add_transfer(comm_->core_of(src), comm_->core_of(dst), bytes);
+    // Every retransmission attempt reloads the same links, so it is priced
+    // as one more concurrent transfer of the stage (attempts == 1 when the
+    // fault model is off — the exact fault-free path).
+    const int attempts = fault_cfg_ ? draw_attempts(bytes) : 1;
+    for (int a = 0; a < attempts; ++a)
+      cost_.add_transfer(comm_->core_of(src), comm_->core_of(dst), bytes);
+    // Observers see the logical transfer once, independent of retries.
     if (transfer_observer_)
       transfer_observer_(comm_->core_of(src), comm_->core_of(dst), bytes);
   }
@@ -99,6 +151,12 @@ Usec Engine::end_stage() {
                                   local_bytes_per_rank_scratch_[r])));
       local_bytes_per_rank_scratch_[r] = 0.0;
     }
+  }
+  if (stage_retry_wait_ > 0.0) {
+    // The worst retry chain of the stage serializes its drop-detection
+    // timeouts in front of the (already contention-priced) retransmissions.
+    stage += stage_retry_wait_;
+    stage_retry_wait_ = 0.0;
   }
   if (mode_ == ExecMode::Data) {
     for (const PendingCopy& pc : pending_) {

@@ -3,11 +3,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "check/stage_verifier.hpp"
+#include "common/rng.hpp"
 #include "simmpi/communicator.hpp"
 #include "simmpi/costmodel.hpp"
+#include "simmpi/transient.hpp"
 
 /// \file engine.hpp
 /// Stage-synchronous execution engine for collective schedules.
@@ -55,6 +58,20 @@ class Engine {
 
   /// Read a block tag (Data mode only).
   std::uint32_t block(Rank r, int off) const;
+
+  /// Arm transient-fault injection (see simmpi/transient.hpp): every remote
+  /// transfer is subjected to seeded drop/corrupt draws and failed attempts
+  /// are priced as retransmissions plus timeout backoff.  Must be called
+  /// before the first stage; validates the config.  A config whose
+  /// probabilities are all zero leaves the engine on the exact fault-free
+  /// path (bit-identical costs and payloads).
+  void set_transient_faults(const TransientFaultConfig& cfg);
+
+  /// True when a fault config with non-zero probabilities is armed.
+  bool transient_faults_enabled() const { return fault_cfg_.has_value(); }
+
+  /// Counters of the armed fault model (all zero when disabled).
+  const TransientFaultStats& transient_stats() const { return fault_stats_; }
 
   /// Open a stage of concurrent transfers.
   void begin_stage();
@@ -132,6 +149,10 @@ class Engine {
   void enqueue(Rank src, int src_off, Rank dst, int dst_off, int nblocks,
                bool combining);
 
+  /// Draw the attempt sequence for one remote transfer; returns the number
+  /// of attempts (>= 1) and accumulates the stage's drop-detection wait.
+  int draw_attempts(Bytes bytes);
+
   const Communicator* comm_;
   CostModel cost_;
   ExecMode mode_;
@@ -141,6 +162,12 @@ class Engine {
   std::vector<PendingCopy> pending_;
   std::vector<Usec> local_bytes_per_rank_scratch_;
   bool stage_open_ = false;
+  // Transient-fault injection (simmpi/transient.hpp); disengaged unless a
+  // config with non-zero probabilities was armed.
+  std::optional<TransientFaultConfig> fault_cfg_;
+  Rng fault_rng_;
+  TransientFaultStats fault_stats_;
+  Usec stage_retry_wait_ = 0.0;
   Usec last_stage_cost_ = 0.0;
   Usec total_ = 0.0;
   double peak_link_bytes_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -89,9 +90,14 @@ DistanceMatrix extract_distances(const Machine& m, const DistanceConfig& cfg) {
             d.set(m.core_id(na, a), m.core_id(na, b),
                   intra[static_cast<std::size_t>(a) * cpn + b]);
       } else {
+        // On a degraded fabric (AllowUnreachable router) a split pair is
+        // "infinitely far": mappers naturally avoid it, and any schedule that
+        // would actually route across the cut fails structurally instead.
         const float dist =
-            cfg.inter_node_base +
-            cfg.per_hop * static_cast<float>(router.hops(na, nb));
+            router.reachable(na, nb)
+                ? cfg.inter_node_base +
+                      cfg.per_hop * static_cast<float>(router.hops(na, nb))
+                : std::numeric_limits<float>::infinity();
         for (int a = 0; a < cpn; ++a)
           for (int b = 0; b < cpn; ++b)
             d.set(m.core_id(na, a), m.core_id(nb, b), dist);
@@ -108,8 +114,10 @@ DistanceMatrix extract_node_distances(const Machine& m,
   for (NodeId a = 0; a < m.num_nodes(); ++a)
     for (NodeId b = a + 1; b < m.num_nodes(); ++b)
       d.set(a, b,
-            cfg.inter_node_base +
-                cfg.per_hop * static_cast<float>(router.hops(a, b)));
+            router.reachable(a, b)
+                ? cfg.inter_node_base +
+                      cfg.per_hop * static_cast<float>(router.hops(a, b))
+                : std::numeric_limits<float>::infinity());
   return d;
 }
 

@@ -13,6 +13,11 @@
 /// mapping heuristics.  This module reproduces that contract: a symmetric
 /// core x core matrix where intra-socket < cross-socket < any network
 /// distance, and network distance grows with switch hops.
+///
+/// On a degraded machine (fault::DegradedTopology, AllowUnreachable router)
+/// the extraction still succeeds: pairs of nodes with no surviving route are
+/// priced at +infinity, so every mapping heuristic transparently consumes
+/// the degraded topology and steers traffic away from the cut.
 
 namespace tarr::topology {
 

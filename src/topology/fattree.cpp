@@ -7,13 +7,33 @@
 
 namespace tarr::topology {
 
+void validate(const GpcTreeConfig& cfg) {
+  TARR_REQUIRE(cfg.num_leaves >= 1, "GpcTreeConfig: num_leaves must be >= 1");
+  TARR_REQUIRE(cfg.nodes_per_leaf >= 1,
+               "GpcTreeConfig: nodes_per_leaf must be >= 1");
+  TARR_REQUIRE(cfg.num_cores >= 1, "GpcTreeConfig: num_cores must be >= 1");
+  TARR_REQUIRE(cfg.uplinks_per_core >= 1,
+               "GpcTreeConfig: uplinks_per_core must be >= 1");
+  TARR_REQUIRE(cfg.lines_per_core >= 1,
+               "GpcTreeConfig: lines_per_core must be >= 1");
+  TARR_REQUIRE(cfg.spines_per_core >= 1,
+               "GpcTreeConfig: spines_per_core must be >= 1");
+  TARR_REQUIRE(cfg.leaves_per_line >= 1,
+               "GpcTreeConfig: leaves_per_line must be >= 1");
+  TARR_REQUIRE(cfg.line_spine_capacity >= 1,
+               "GpcTreeConfig: line_spine_capacity must be >= 1");
+  // Every leaf's uplinks must land on an existing line switch.
+  const int lines_needed =
+      (cfg.num_leaves + cfg.leaves_per_line - 1) / cfg.leaves_per_line;
+  TARR_REQUIRE(lines_needed <= cfg.lines_per_core,
+               "GpcTreeConfig: leaves do not fit the line switches");
+}
+
 SwitchGraph build_gpc_network(int num_nodes, const GpcTreeConfig& cfg) {
+  validate(cfg);
   TARR_REQUIRE(num_nodes >= 1, "build_gpc_network: need at least one node");
   TARR_REQUIRE(num_nodes <= cfg.num_leaves * cfg.nodes_per_leaf,
                "build_gpc_network: too many nodes for the tree");
-  TARR_REQUIRE(cfg.num_leaves % cfg.leaves_per_line == 0 ||
-                   cfg.num_leaves <= cfg.lines_per_core * cfg.leaves_per_line,
-               "build_gpc_network: leaves do not fit the line switches");
 
   SwitchGraph g;
 
@@ -78,8 +98,13 @@ SwitchGraph build_single_switch_network(int num_nodes) {
 
 SwitchGraph build_two_level_fattree(int num_nodes, int nodes_per_leaf,
                                     int num_spines, int up_capacity) {
-  TARR_REQUIRE(num_nodes >= 1 && nodes_per_leaf >= 1 && num_spines >= 1,
-               "build_two_level_fattree: bad parameters");
+  TARR_REQUIRE(num_nodes >= 1, "build_two_level_fattree: num_nodes must be >= 1");
+  TARR_REQUIRE(nodes_per_leaf >= 1,
+               "build_two_level_fattree: nodes_per_leaf must be >= 1");
+  TARR_REQUIRE(num_spines >= 1,
+               "build_two_level_fattree: num_spines must be >= 1");
+  TARR_REQUIRE(up_capacity >= 1,
+               "build_two_level_fattree: up_capacity must be >= 1");
   SwitchGraph g;
   const int num_leaves = (num_nodes + nodes_per_leaf - 1) / nodes_per_leaf;
   std::vector<NetVertexId> spines;

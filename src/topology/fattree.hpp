@@ -26,6 +26,12 @@ struct GpcTreeConfig {
   int line_spine_capacity = 2;  ///< cables from each line to each spine
 };
 
+/// Validate a GpcTreeConfig: every count/capacity must be >= 1 and the
+/// leaves must fit the per-core line switches.  Throws tarr::Error naming
+/// the offending field; build_gpc_network calls this, so a malformed config
+/// fails loudly instead of silently misconstructing the fabric.
+void validate(const GpcTreeConfig& cfg);
+
 /// Build the paper's GPC network with `num_nodes` compute nodes attached
 /// (num_nodes <= num_leaves * nodes_per_leaf).  Nodes are attached to leaves
 /// in order, `nodes_per_leaf` consecutive nodes per leaf.

@@ -6,12 +6,12 @@
 
 namespace tarr::topology {
 
-Machine::Machine(NodeShape shape, SwitchGraph net)
+Machine::Machine(NodeShape shape, SwitchGraph net, Router::HostPolicy policy)
     : shape_(shape), net_(std::move(net)) {
   TARR_REQUIRE(shape_.sockets >= 1 && shape_.cores_per_socket >= 1,
                "Machine: node shape must be non-empty");
   TARR_REQUIRE(net_.num_hosts() >= 1, "Machine: network has no hosts");
-  router_ = std::make_unique<Router>(net_);
+  router_ = std::make_unique<Router>(net_, policy);
 }
 
 Machine Machine::gpc(int num_nodes, NodeShape shape) {

@@ -19,8 +19,14 @@ namespace tarr::topology {
 /// Immutable description of the whole cluster.
 class Machine {
  public:
-  /// One node per host endpoint in `net`.
-  Machine(NodeShape shape, SwitchGraph net);
+  /// One node per host endpoint in `net`.  The default policy requires every
+  /// host to be routable and throws PartitionedError otherwise; pass
+  /// AllowUnreachable to model a degraded fabric where some hosts lost
+  /// connectivity (fault::DegradedTopology builds machines this way) — the
+  /// node/core numbering is unaffected, and routing queries between split
+  /// pairs throw the structured error at use time.
+  explicit Machine(NodeShape shape, SwitchGraph net,
+                   Router::HostPolicy policy = Router::HostPolicy::RequireAll);
 
   /// The paper's testbed: GPC-like fat-tree with `num_nodes` dual-socket
   /// quad-core nodes (8 cores per node).

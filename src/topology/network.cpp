@@ -26,6 +26,8 @@ const char* to_string(VertexKind k) {
 NetVertexId SwitchGraph::add_vertex(VertexKind kind, std::string name,
                                     NodeId node) {
   const NetVertexId id = static_cast<NetVertexId>(vertices_.size());
+  TARR_REQUIRE(kind == VertexKind::Host || node == -1,
+               "add_vertex: only host vertices carry a node index");
   vertices_.push_back(NetVertex{kind, std::move(name), node});
   incident_.emplace_back();
   if (kind == VertexKind::Host) {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 
@@ -23,7 +24,74 @@ std::uint32_t route_hash(NodeId dst, NetVertexId at) {
 
 }  // namespace
 
-Router::Router(const SwitchGraph& g) : graph_(&g), num_hosts_(g.num_hosts()) {
+std::string Partitioned::describe() const {
+  std::ostringstream os;
+  os << "hosts split into " << components.size() << " component(s):";
+  constexpr std::size_t kMaxComponents = 8;
+  constexpr std::size_t kMaxMembers = 8;
+  for (std::size_t c = 0; c < components.size() && c < kMaxComponents; ++c) {
+    os << " [";
+    for (std::size_t i = 0; i < components[c].size(); ++i) {
+      if (i == kMaxMembers) {
+        os << " ...+" << components[c].size() - kMaxMembers;
+        break;
+      }
+      if (i > 0) os << ' ';
+      os << components[c][i];
+    }
+    os << ']';
+  }
+  if (components.size() > kMaxComponents)
+    os << " ...+" << components.size() - kMaxComponents << " more";
+  return os.str();
+}
+
+PartitionedError::PartitionedError(Partitioned info)
+    : Error("network partitioned: " + info.describe()),
+      info_(std::move(info)) {}
+
+Partitioned host_components(const SwitchGraph& g) {
+  const int V = g.num_vertices();
+  std::vector<int> comp(V, -1);
+  int num_comps = 0;
+  std::deque<NetVertexId> queue;
+  // Flood from hosts in node order so components come out ordered by their
+  // smallest member.
+  for (NodeId n = 0; n < g.num_hosts(); ++n) {
+    const NetVertexId start = g.host_vertex(n);
+    if (comp[start] != -1) continue;
+    comp[start] = num_comps++;
+    queue.clear();
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NetVertexId u = queue.front();
+      queue.pop_front();
+      for (LinkId l : g.incident(u)) {
+        const NetVertexId w = g.other_end(l, u);
+        if (comp[w] == -1) {
+          comp[w] = comp[u];
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  Partitioned out;
+  out.components.resize(num_comps);
+  for (NodeId n = 0; n < g.num_hosts(); ++n)
+    out.components[comp[g.host_vertex(n)]].push_back(n);
+  return out;
+}
+
+Router::Router(const SwitchGraph& g, HostPolicy policy)
+    : graph_(&g), num_hosts_(g.num_hosts()) {
+  components_ = host_components(g);
+  if (policy == HostPolicy::RequireAll && components_.components.size() > 1)
+    throw PartitionedError(components_);
+  component_of_.assign(num_hosts_, 0);
+  for (std::size_t c = 0; c < components_.components.size(); ++c)
+    for (NodeId n : components_.components[c])
+      component_of_[n] = static_cast<int>(c);
+
   const int V = g.num_vertices();
   const int H = num_hosts_;
   offset_.assign(static_cast<std::size_t>(H) * H + 1, 0);
@@ -56,9 +124,10 @@ Router::Router(const SwitchGraph& g) : graph_(&g), num_hosts_(g.num_hosts()) {
     }
     for (NodeId src = 0; src < H; ++src) {
       if (src == dst) continue;
+      if (component_of_[src] != component_of_[dst]) continue;  // unroutable
       NetVertexId at = g.host_vertex(src);
       TARR_REQUIRE(level[at] != kUnreached,
-                   "Router: hosts are not connected");
+                   "Router: component map disagrees with BFS");
       auto& path = tmp[static_cast<std::size_t>(src) * H + dst];
       path.reserve(level[at]);
       while (at != target) {
@@ -96,6 +165,8 @@ Router::Router(const SwitchGraph& g) : graph_(&g), num_hosts_(g.num_hosts()) {
 std::span<const LinkId> Router::path(NodeId src, NodeId dst) const {
   TARR_REQUIRE(src >= 0 && src < num_hosts_ && dst >= 0 && dst < num_hosts_,
                "Router::path: node out of range");
+  if (src != dst && component_of_[src] != component_of_[dst])
+    throw PartitionedError(components_);
   const std::size_t idx = static_cast<std::size_t>(src) * num_hosts_ + dst;
   return std::span<const LinkId>(links_.data() + offset_[idx],
                                  links_.data() + offset_[idx + 1]);
@@ -103,6 +174,12 @@ std::span<const LinkId> Router::path(NodeId src, NodeId dst) const {
 
 int Router::hops(NodeId src, NodeId dst) const {
   return static_cast<int>(path(src, dst).size());
+}
+
+bool Router::reachable(NodeId src, NodeId dst) const {
+  TARR_REQUIRE(src >= 0 && src < num_hosts_ && dst >= 0 && dst < num_hosts_,
+               "Router::reachable: node out of range");
+  return src == dst || component_of_[src] == component_of_[dst];
 }
 
 }  // namespace tarr::topology

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "topology/network.hpp"
 
 /// \file routing.hpp
@@ -16,22 +18,80 @@
 /// different destinations fans out across parallel uplinks, while all traffic
 /// to one destination follows a fixed path (so two flows to the same place
 /// genuinely contend, which is what produces the paper's congestion effects).
+///
+/// Failover: constructing a Router over a degraded graph (links or switches
+/// removed, see fault::FaultMask) automatically reroutes every pair onto the
+/// next-shortest surviving paths with the same deterministic spreading.  When
+/// failures disconnect hosts, the outcome is *structured*: the component
+/// decomposition is reported through Partitioned / PartitionedError rather
+/// than undefined behavior or an unexplained crash.
 
 namespace tarr::topology {
+
+/// Structured description of a host partition: the connected components of
+/// the host set (as compute-node ids), each sorted ascending, ordered by
+/// their smallest member.  One component means all hosts are mutually
+/// reachable.
+struct Partitioned {
+  std::vector<std::vector<NodeId>> components;
+
+  /// "hosts split into k components: [0 1 4] [2 3] ..." (components and
+  /// members elided past a small prefix to keep messages bounded).
+  std::string describe() const;
+};
+
+/// Thrown when an operation requires host connectivity that the (possibly
+/// degraded) graph no longer provides.  Carries the full component
+/// decomposition so callers can react structurally — shrink to the largest
+/// component, remap, or abort — instead of parsing an error string.
+class PartitionedError : public Error {
+ public:
+  explicit PartitionedError(Partitioned info);
+  const Partitioned& info() const { return info_; }
+
+ private:
+  Partitioned info_;
+};
+
+/// Connected components of g's hosts (see Partitioned).  A host with no
+/// surviving link forms a singleton component.
+Partitioned host_components(const SwitchGraph& g);
 
 /// Precomputed all-pairs single-path routes between host endpoints.
 class Router {
  public:
-  /// Builds routes for every ordered pair of hosts in `g`.  The graph must be
-  /// connected across all hosts.  The referenced graph must outlive the
-  /// router.
-  explicit Router(const SwitchGraph& g);
+  /// What to do when the graph's hosts are not mutually connected.
+  enum class HostPolicy {
+    RequireAll,        ///< throw PartitionedError at construction
+    AllowUnreachable,  ///< build; path()/hops() on a split pair throw
+  };
+
+  /// Builds routes for every ordered pair of hosts in `g`.  With the default
+  /// policy the graph must be connected across all hosts or construction
+  /// throws PartitionedError; with AllowUnreachable the router is built for
+  /// whatever connectivity survives (degraded-fabric routing) and
+  /// reachable() reports per-pair status.  The referenced graph must outlive
+  /// the router.
+  explicit Router(const SwitchGraph& g,
+                  HostPolicy policy = HostPolicy::RequireAll);
 
   /// The sequence of links from host(src) to host(dst); empty iff src == dst.
+  /// Throws PartitionedError if the pair is not reachable.
   std::span<const LinkId> path(NodeId src, NodeId dst) const;
 
-  /// Number of links on the route (0 iff src == dst).
+  /// Number of links on the route (0 iff src == dst).  Throws
+  /// PartitionedError if the pair is not reachable.
   int hops(NodeId src, NodeId dst) const;
+
+  /// True iff src and dst lie in the same surviving component (always true
+  /// for src == dst).
+  bool reachable(NodeId src, NodeId dst) const;
+
+  /// True iff every host pair is routable.
+  bool fully_connected() const { return components_.components.size() <= 1; }
+
+  /// The host component decomposition this router was built over.
+  const Partitioned& partition() const { return components_; }
 
   /// The network this router was built for.
   const SwitchGraph& graph() const { return *graph_; }
@@ -42,6 +102,8 @@ class Router {
   /// Flattened storage: paths_[offset_[src*H+dst] .. offset_[src*H+dst+1]).
   std::vector<int> offset_;
   std::vector<LinkId> links_;
+  Partitioned components_;
+  std::vector<int> component_of_;  // host node -> component index
 };
 
 }  // namespace tarr::topology

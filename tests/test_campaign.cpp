@@ -1,0 +1,127 @@
+// Monte Carlo fault-campaign library: determinism, row accounting, and the
+// stale == remap coincidence at zero failures.
+
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace tarr::fault {
+namespace {
+
+CampaignConfig tiny_config() {
+  CampaignConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.tree.nodes_per_leaf = 2;  // 8 nodes span all 4 leaves
+  cfg.max_ranks = 32;
+  cfg.failure_counts = {0, 2};
+  cfg.trials = 2;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+TEST(Campaign, DeterministicFromSeed) {
+  const CampaignResult a = run_fault_campaign(tiny_config());
+  const CampaignResult b = run_fault_campaign(tiny_config());
+  EXPECT_EQ(a.csv(), b.csv());
+  EXPECT_EQ(a.json(), b.json());
+  EXPECT_EQ(a.partitioned_trials, b.partitioned_trials);
+}
+
+TEST(Campaign, RowAccounting) {
+  const CampaignConfig cfg = tiny_config();
+  const CampaignResult r = run_fault_campaign(cfg);
+  // counts x trials x 4 patterns, partitioned or not.
+  EXPECT_EQ(r.rows.size(),
+            cfg.failure_counts.size() * cfg.trials * 4u);
+  for (const CampaignRow& row : r.rows) {
+    if (row.partitioned) continue;
+    EXPECT_GT(row.ranks, 0);
+    EXPECT_GE(row.survivors, row.ranks);
+    EXPECT_GT(row.baseline_usec, 0.0);
+    EXPECT_GT(row.stale_usec, 0.0);
+    EXPECT_GT(row.remap_usec, 0.0);
+  }
+}
+
+TEST(Campaign, ZeroFailuresStaleEqualsRemap) {
+  // With no failures the pristine and degraded distance matrices coincide
+  // and the mapping RNG streams are shared, so the two policies produce the
+  // same mapping and the same price.
+  const CampaignResult r = run_fault_campaign(tiny_config());
+  for (const CampaignRow& row : r.rows) {
+    if (row.failures != 0) continue;
+    ASSERT_FALSE(row.partitioned);
+    EXPECT_EQ(row.stale_usec, row.remap_usec) << row.pattern;
+    EXPECT_EQ(row.survivors, row.ranks);
+  }
+}
+
+TEST(Campaign, NodeFailuresShrinkTheJob) {
+  CampaignConfig cfg = tiny_config();
+  cfg.kind = FailureKind::Nodes;
+  cfg.failure_counts = {2};
+  const CampaignResult r = run_fault_campaign(cfg);
+  for (const CampaignRow& row : r.rows) {
+    if (row.partitioned) continue;
+    // 8 nodes x 8 cores capped at 32 ranks; 2 dead nodes cost at least one
+    // rank from the 32-rank parent unless the dead nodes were unused.
+    EXPECT_LE(row.survivors, 32);
+    EXPECT_LE(row.ranks, row.survivors);
+  }
+  EXPECT_EQ(r.rows.size(), 8u);  // 1 count x 2 trials x 4 patterns
+}
+
+TEST(Campaign, OutputsCarryEveryRow) {
+  const CampaignResult r = run_fault_campaign(tiny_config());
+  const std::string csv = r.csv();
+  const std::string json = r.json();
+  std::size_t csv_lines = 0;
+  for (char c : csv) csv_lines += c == '\n';
+  EXPECT_EQ(csv_lines, r.rows.size() + 1);  // header + rows
+  std::size_t json_rows = 0;
+  std::string::size_type pos = 0;
+  while ((pos = json.find("\"pattern\"", pos)) != std::string::npos) {
+    ++json_rows;
+    ++pos;
+  }
+  EXPECT_EQ(json_rows, r.rows.size());
+  EXPECT_NE(r.summary().find("Fault campaign"), std::string::npos);
+}
+
+TEST(Campaign, RejectsMalformedConfigs) {
+  CampaignConfig cfg = tiny_config();
+  cfg.trials = 0;
+  EXPECT_THROW(run_fault_campaign(cfg), Error);
+  cfg = tiny_config();
+  cfg.failure_counts = {};
+  EXPECT_THROW(run_fault_campaign(cfg), Error);
+  cfg = tiny_config();
+  cfg.failure_counts = {-1};
+  EXPECT_THROW(run_fault_campaign(cfg), Error);
+  cfg = tiny_config();
+  cfg.transient.drop_prob = 2.0;
+  EXPECT_THROW(run_fault_campaign(cfg), Error);
+  cfg = tiny_config();
+  cfg.tree.num_leaves = 0;
+  EXPECT_THROW(run_fault_campaign(cfg), Error);
+}
+
+TEST(Campaign, TransientFaultsComposeWithCampaign) {
+  CampaignConfig cfg = tiny_config();
+  cfg.failure_counts = {1};
+  cfg.trials = 1;
+  cfg.transient.drop_prob = 0.05;
+  const CampaignResult with = run_fault_campaign(cfg);
+  cfg.transient.drop_prob = 0.0;
+  const CampaignResult without = run_fault_campaign(cfg);
+  ASSERT_EQ(with.rows.size(), without.rows.size());
+  for (std::size_t i = 0; i < with.rows.size(); ++i) {
+    if (with.rows[i].partitioned) continue;
+    EXPECT_GE(with.rows[i].baseline_usec, without.rows[i].baseline_usec);
+  }
+}
+
+}  // namespace
+}  // namespace tarr::fault

@@ -100,5 +100,39 @@ TEST(TwoLevelFatTree, PartialLastLeaf) {
   EXPECT_EQ(count_kind(g, VertexKind::LeafSwitch), 2);
 }
 
+TEST(GpcTreeConfig, ValidateRejectsEveryNonPositiveField) {
+  EXPECT_NO_THROW(validate(GpcTreeConfig{}));
+  auto expect_bad = [](GpcTreeConfig cfg) {
+    EXPECT_THROW(validate(cfg), Error);
+    EXPECT_THROW(build_gpc_network(1, cfg), Error);
+  };
+  expect_bad(GpcTreeConfig{.num_leaves = 0});
+  expect_bad(GpcTreeConfig{.nodes_per_leaf = -1});
+  expect_bad(GpcTreeConfig{.num_cores = 0});
+  expect_bad(GpcTreeConfig{.uplinks_per_core = 0});
+  expect_bad(GpcTreeConfig{.lines_per_core = 0});
+  expect_bad(GpcTreeConfig{.spines_per_core = 0});
+  expect_bad(GpcTreeConfig{.leaves_per_line = 0});
+  expect_bad(GpcTreeConfig{.line_spine_capacity = 0});
+}
+
+TEST(GpcTreeConfig, ValidateRejectsLeafOverflow) {
+  // 32 leaves at 1 leaf per line switch need 32 line switches, not 18.
+  GpcTreeConfig cfg;
+  cfg.leaves_per_line = 1;
+  EXPECT_THROW(validate(cfg), Error);
+  cfg = GpcTreeConfig{};
+  cfg.num_leaves = 18 * 6 + 1;
+  EXPECT_THROW(validate(cfg), Error);
+}
+
+TEST(TwoLevelFatTree, RejectsNonPositiveArguments) {
+  EXPECT_THROW(build_two_level_fattree(0, 4, 2), Error);
+  EXPECT_THROW(build_two_level_fattree(8, 0, 2), Error);
+  EXPECT_THROW(build_two_level_fattree(8, 4, 0), Error);
+  EXPECT_THROW(build_two_level_fattree(8, 4, 2, 0), Error);
+  EXPECT_THROW(build_two_level_fattree(-3, 4, 2), Error);
+}
+
 }  // namespace
 }  // namespace tarr::topology

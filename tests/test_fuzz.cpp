@@ -5,14 +5,19 @@
 
 #include <algorithm>
 
+#include "check/audit_engine.hpp"
 #include "collectives/allgather.hpp"
 #include "collectives/orderfix.hpp"
 #include "common/permutation.hpp"
 #include "common/rng.hpp"
+#include "fault/degraded.hpp"
+#include "fault/fault_mask.hpp"
+#include "fault/shrink.hpp"
 #include "mapping/heuristics.hpp"
 #include "simmpi/engine.hpp"
 #include "simmpi/layout.hpp"
 #include "topology/distance.hpp"
+#include "topology/fattree.hpp"
 
 namespace tarr {
 namespace {
@@ -160,6 +165,95 @@ TEST_P(FuzzSeeds, HeuristicsValidOnRandomCoreSubsets) {
     EXPECT_EQ(a, b) << mapper->name();
     EXPECT_EQ(result[0], initial[0]);
   }
+}
+
+TEST_P(FuzzSeeds, ShrunkenAllgatherSurvivesRandomFaultMasks) {
+  // Random component failures (links, nodes, or both) either partition the
+  // fabric — reported structurally — or leave a survivor set over which a
+  // Data-mode ring allgather still satisfies the shrunken audit contract.
+  // Under TARR_SLOW_CHECKS the engine's StageVerifier additionally shadows
+  // every stage of the degraded schedule.
+  Rng rng(5000 + GetParam());
+  const int nodes = 4 + static_cast<int>(rng.next_below(8));
+  const Machine m(topology::NodeShape{.sockets = 1, .cores_per_socket = 2},
+                  topology::build_two_level_fattree(nodes, 2, 2));
+  const topology::SwitchGraph& g = m.network();
+
+  fault::FaultMask mask;
+  const int dead_nodes = static_cast<int>(rng.next_below(nodes - 1));
+  const fault::FaultMask node_draw =
+      fault::FaultMask::random_nodes(g, dead_nodes, rng);
+  for (const NodeId n : node_draw.failed_nodes()) mask.fail_node(n);
+  const int cut_links = static_cast<int>(rng.next_below(4));
+  const fault::FaultMask link_draw =
+      fault::FaultMask::random_links(g, cut_links, rng, true);
+  for (const LinkId l : link_draw.failed_links()) mask.fail_link(l);
+
+  const fault::DegradedTopology topo(m, std::move(mask));
+  const Communicator parent(
+      m, simmpi::make_layout(m, m.total_cores(), {}));
+  try {
+    const fault::ShrunkComm shrunk = fault::shrink_communicator(topo, parent);
+    const int s = shrunk.comm.size();
+    Engine eng(shrunk.comm, simmpi::CostConfig{}, ExecMode::Data, s, s);
+    collectives::run_allgather(
+        eng, AllgatherOptions{AllgatherAlgo::Ring, OrderFix::None},
+        identity_permutation(s));
+    check::audit_shrunken_allgather(eng, parent.size(), shrunk.parent_rank);
+  } catch (const topology::PartitionedError& e) {
+    EXPECT_GE(e.info().components.size(), 2u);
+  }
+}
+
+TEST_P(FuzzSeeds, TransientFaultsKeepTimedDataParityOnRandomSchedules) {
+  // Same random-schedule parity property as above, but with the transient
+  // fault model armed: both modes draw the identical attempt sequences, so
+  // totals must still match exactly.
+  Rng rng(6000 + GetParam());
+  const Machine m = Machine::gpc(1 + rng.next_below(3));
+  const int p =
+      2 + static_cast<int>(rng.next_below(std::min(12, m.total_cores() - 1)));
+  const Communicator comm(m, simmpi::make_layout(m, p, {}));
+  const int blocks = 3;
+
+  struct Copy {
+    Rank src, dst;
+    int off, n;
+  };
+  std::vector<std::vector<Copy>> stages(1 + rng.next_below(5));
+  for (auto& stage : stages) {
+    std::vector<char> written(static_cast<std::size_t>(p) * blocks, 0);
+    const int k = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < k; ++i) {
+      Copy c;
+      c.src = static_cast<Rank>(rng.next_below(p));
+      c.dst = static_cast<Rank>(rng.next_below(p));
+      c.n = 1 + static_cast<int>(rng.next_below(blocks));
+      c.off = static_cast<int>(rng.next_below(blocks - c.n + 1));
+      const std::size_t base = static_cast<std::size_t>(c.dst) * blocks + c.off;
+      bool clashes = false;
+      for (int b = 0; b < c.n; ++b) clashes |= written[base + b] != 0;
+      if (clashes) continue;
+      for (int b = 0; b < c.n; ++b) written[base + b] = 1;
+      stage.push_back(c);
+    }
+  }
+
+  simmpi::TransientFaultConfig faults;
+  faults.drop_prob = 0.15;
+  faults.corrupt_prob = 0.1;
+  faults.seed = 42 + GetParam();
+  auto run = [&](ExecMode mode) {
+    Engine eng(comm, simmpi::CostConfig{}, mode, 321, blocks);
+    eng.set_transient_faults(faults);
+    for (const auto& stage : stages) {
+      eng.begin_stage();
+      for (const auto& c : stage) eng.copy(c.src, c.off, c.dst, c.off, c.n);
+      eng.end_stage();
+    }
+    return eng.total();
+  };
+  EXPECT_EQ(run(ExecMode::Timed), run(ExecMode::Data));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 24));

@@ -82,6 +82,22 @@ TEST(SwitchGraph, DescribeCountsKinds) {
   EXPECT_NE(d.find("1 leaf"), std::string::npos);
 }
 
+TEST(SwitchGraph, SwitchWithNodeIndexRejected) {
+  // Only host vertices carry a compute-node index; a switch claiming one is
+  // a wiring bug the graph rejects up front.
+  SwitchGraph g;
+  EXPECT_THROW(g.add_vertex(VertexKind::Switch, "sw", 0), Error);
+  EXPECT_THROW(g.add_vertex(VertexKind::LeafSwitch, "leaf", 3), Error);
+}
+
+TEST(SwitchGraph, LinkEndpointBoundsChecked) {
+  SwitchGraph g;
+  const auto a = g.add_vertex(VertexKind::Switch, "a");
+  EXPECT_THROW(g.add_link(a, 7), Error);
+  EXPECT_THROW(g.add_link(-1, a), Error);
+  EXPECT_THROW(g.add_link(a, 1, -2), Error);
+}
+
 TEST(VertexKindNames, AllDistinct) {
   EXPECT_STREQ(to_string(VertexKind::Host), "host");
   EXPECT_STREQ(to_string(VertexKind::LeafSwitch), "leaf");

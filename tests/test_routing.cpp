@@ -114,5 +114,90 @@ TEST(Router, OutOfRangeThrows) {
   EXPECT_THROW(r.path(-1, 0), Error);
 }
 
+TEST(Router, SingleHostGraphIsTriviallyConnected) {
+  const SwitchGraph g = build_single_switch_network(1);
+  const Router r(g);
+  EXPECT_TRUE(r.fully_connected());
+  EXPECT_EQ(r.partition().components.size(), 1u);
+  EXPECT_EQ(r.hops(0, 0), 0);
+  EXPECT_TRUE(r.reachable(0, 0));
+}
+
+TEST(Router, DisconnectedGraphThrowsStructuredError) {
+  // Two islands wired by hand: hosts {0,1} on one switch, {2,3} on another,
+  // no cable between the switches.
+  SwitchGraph g;
+  const auto sa = g.add_vertex(VertexKind::Switch, "a");
+  const auto sb = g.add_vertex(VertexKind::Switch, "b");
+  for (NodeId n = 0; n < 4; ++n) {
+    const auto h = g.add_vertex(VertexKind::Host, "n" + std::to_string(n), n);
+    g.add_link(h, n < 2 ? sa : sb);
+  }
+  try {
+    Router r(g);
+    FAIL() << "expected PartitionedError";
+  } catch (const PartitionedError& e) {
+    ASSERT_EQ(e.info().components.size(), 2u);
+    EXPECT_EQ(e.info().components[0], (std::vector<NodeId>{0, 1}));
+    EXPECT_EQ(e.info().components[1], (std::vector<NodeId>{2, 3}));
+  }
+}
+
+TEST(Router, HostComponentsReportsIsolatedHostsAsSingletons) {
+  SwitchGraph g;
+  const auto sw = g.add_vertex(VertexKind::Switch, "sw");
+  const auto h0 = g.add_vertex(VertexKind::Host, "n0", 0);
+  g.add_link(h0, sw);
+  g.add_vertex(VertexKind::Host, "n1", 1);  // no links at all
+  const Partitioned parts = host_components(g);
+  ASSERT_EQ(parts.components.size(), 2u);
+  EXPECT_EQ(parts.components[0], (std::vector<NodeId>{0}));
+  EXPECT_EQ(parts.components[1], (std::vector<NodeId>{1}));
+  EXPECT_NE(parts.describe().find("2 component"), std::string::npos);
+}
+
+TEST(Router, MultiLinkRemovalPartitionsFatTree) {
+  // Cutting both of leaf 0's uplinks splits its 4 nodes from the rest.
+  const SwitchGraph g = build_two_level_fattree(8, 4, 2);
+  const SwitchGraph cut = g.with_failed_links({0, 1});
+  EXPECT_THROW(Router{cut}, PartitionedError);
+
+  const Router r(cut, Router::HostPolicy::AllowUnreachable);
+  EXPECT_FALSE(r.fully_connected());
+  ASSERT_EQ(r.partition().components.size(), 2u);
+  EXPECT_EQ(r.partition().components[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.partition().components[1], (std::vector<NodeId>{4, 5, 6, 7}));
+  // Pairs inside a component still route; pairs across the cut throw the
+  // structured error at use time.
+  EXPECT_TRUE(r.reachable(0, 3));
+  EXPECT_EQ(r.hops(0, 3), 2);
+  expect_valid_path(cut, r, 5, 7);
+  EXPECT_FALSE(r.reachable(0, 4));
+  EXPECT_THROW(r.path(0, 4), PartitionedError);
+  EXPECT_THROW(r.hops(4, 0), PartitionedError);
+  try {
+    r.path(0, 4);
+  } catch (const PartitionedError& e) {
+    EXPECT_EQ(e.info().components.size(), 2u);
+  }
+}
+
+TEST(Router, SingleLinkFailureFailsOverAtEqualLength) {
+  // With a surviving parallel spine, every pair keeps a 4-hop route after
+  // one uplink dies.
+  const SwitchGraph g = build_two_level_fattree(8, 4, 2);
+  const Router before(g);
+  const auto first_uplink = before.path(0, 4)[1];
+  const SwitchGraph cut = g.with_failed_links({first_uplink});
+  const Router after(cut);
+  EXPECT_TRUE(after.fully_connected());
+  for (NodeId a = 0; a < 8; ++a)
+    for (NodeId b = 0; b < 8; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(after.hops(a, b), a / 4 == b / 4 ? 2 : 4);
+      expect_valid_path(cut, after, a, b);
+    }
+}
+
 }  // namespace
 }  // namespace tarr::topology
