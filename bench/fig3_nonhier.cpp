@@ -7,6 +7,10 @@
 // percentage latency improvement over the default library (positive =
 // faster).  The default's recursive-doubling path includes MVAPICH's own
 // internal block->cyclic reorder, as described in §V-A1.
+//
+// With TARR_TRACE_OUT / TARR_TRACE_METRICS set, the slowest topology-aware
+// configuration of the whole sweep is re-run with tracing and its timeline /
+// metrics written there (see docs/OBSERVABILITY.md).
 
 #include <cstdio>
 
@@ -22,6 +26,7 @@ int main() {
 
   BenchWorld world(kPaperNodes);
   const auto sizes = osu_message_sizes();
+  SlowestConfigTrace slowest;
 
   std::printf(
       "Fig 3 — non-hierarchical topology-aware allgather, %d processes\n"
@@ -37,22 +42,20 @@ int main() {
 
     struct Series {
       const char* name;
+      core::TopoAllgatherConfig cfg;
       core::TopoAllgather path;
     };
-    auto variant = [&](MapperKind kind, OrderFix fix) {
+    auto variant = [&](const char* name, MapperKind kind, OrderFix fix) {
       core::TopoAllgatherConfig cfg;
       cfg.mapper = kind;
       cfg.fix = fix;
-      return world.path(kPaperProcs, spec, cfg);
+      return Series{name, cfg, world.path(kPaperProcs, spec, cfg)};
     };
     Series series[] = {
-        {"Hrstc+initComm", variant(MapperKind::Heuristic, OrderFix::InitComm)},
-        {"Hrstc+endShfl",
-         variant(MapperKind::Heuristic, OrderFix::EndShuffle)},
-        {"Scotch+initComm",
-         variant(MapperKind::ScotchLike, OrderFix::InitComm)},
-        {"Scotch+endShfl",
-         variant(MapperKind::ScotchLike, OrderFix::EndShuffle)},
+        variant("Hrstc+initComm", MapperKind::Heuristic, OrderFix::InitComm),
+        variant("Hrstc+endShfl", MapperKind::Heuristic, OrderFix::EndShuffle),
+        variant("Scotch+initComm", MapperKind::ScotchLike, OrderFix::InitComm),
+        variant("Scotch+endShfl", MapperKind::ScotchLike, OrderFix::EndShuffle),
     };
 
     TextTable t;
@@ -63,8 +66,16 @@ int main() {
       std::vector<std::string> row{TextTable::bytes(msg),
                                    TextTable::num(d, 1)};
       for (auto& s : series) {
-        row.push_back(
-            TextTable::num(improvement_percent(d, s.path.latency(msg)), 1));
+        const double lat = s.path.latency(msg);
+        row.push_back(TextTable::num(improvement_percent(d, lat), 1));
+        slowest.note(lat,
+                     std::string(simmpi::to_string(spec)) + " " + s.name +
+                         " msg=" + std::to_string(msg),
+                     [&world, spec, cfg = s.cfg, msg](trace::TraceSink* sink) {
+                       auto path = world.path(kPaperProcs, spec, cfg);
+                       path.set_trace_sink(sink);
+                       return path.latency(msg);
+                     });
       }
       t.add_row(std::move(row));
     }
@@ -72,5 +83,6 @@ int main() {
                 static_cast<char>(sub + fig++),
                 simmpi::to_string(spec).c_str(), t.render().c_str());
   }
+  slowest.dump();
   return 0;
 }

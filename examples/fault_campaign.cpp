@@ -15,6 +15,12 @@
 //   --drop P              transient per-transfer drop probability (default 0)
 //   --csv PATH            also write the per-row CSV
 //   --json PATH           also write the JSON rows
+//   --metrics PATH        also write the campaign metrics CSV (trial
+//                         outcomes + transient drop/corrupt/retransmit
+//                         counters; schema category,key,count,total,peak)
+//
+// --smoke prints the metrics CSV after the summary, so CI gets the
+// machine-readable counters without an extra file.
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,7 +60,8 @@ int main(int argc, char** argv) {
   using namespace tarr;
 
   fault::CampaignConfig cfg;
-  std::string csv_path, json_path;
+  std::string csv_path, json_path, metrics_path;
+  bool smoke = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -66,6 +73,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--smoke") {
+      smoke = true;
       // Deterministic CI preset: small machine, few trials, both a clean and
       // a heavily-degraded point, fixed seed.  nodes_per_leaf is shrunk so
       // the 16 nodes still span every leaf of the fabric.
@@ -98,6 +106,8 @@ int main(int argc, char** argv) {
       csv_path = next();
     } else if (a == "--json") {
       json_path = next();
+    } else if (a == "--metrics") {
+      metrics_path = next();
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return 2;
@@ -107,8 +117,13 @@ int main(int argc, char** argv) {
   try {
     const fault::CampaignResult result = fault::run_fault_campaign(cfg);
     std::printf("%s", result.summary().c_str());
+    if (smoke) {
+      std::printf("\nmetrics (category,key,count,total,peak):\n%s",
+                  result.metrics_csv().c_str());
+    }
     if (!csv_path.empty()) write_file(csv_path, result.csv());
     if (!json_path.empty()) write_file(json_path, result.json());
+    if (!metrics_path.empty()) write_file(metrics_path, result.metrics_csv());
   } catch (const Error& e) {
     std::fprintf(stderr, "fault_campaign: %s\n", e.what());
     return 1;

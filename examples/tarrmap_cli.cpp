@@ -8,16 +8,29 @@
 //            cyclic-bunch|cyclic-scatter] [--pattern recursive-doubling|
 //            ring|binomial-bcast|binomial-gather|bruck]
 //            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
+//            [--msg BYTES] [--trace out.json] [--metrics out.csv]
+//            [--trace-wall]
+//
+// With --trace/--metrics the tool also *runs* the pattern-matched collective
+// (Timed engine, --msg bytes per block) over the reordered communicator and
+// exports the observability artifacts: a Perfetto-loadable Chrome trace-event
+// timeline and/or the metrics registry CSV (see docs/OBSERVABILITY.md).
+// Trace files are byte-identical across same-seed runs unless --trace-wall
+// opts into real wall-clock durations for the mapping spans.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "collectives/allgather.hpp"
+#include "collectives/gather_bcast.hpp"
 #include "core/topoallgather.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/mapcost.hpp"
 #include "simmpi/layout.hpp"
+#include "trace/tracer.hpp"
 
 namespace {
 
@@ -26,9 +39,43 @@ using namespace tarr;
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--procs P] [--layout L] "
-               "[--pattern PAT] [--mapper M] [--seed S] [--quiet]\n",
+               "[--pattern PAT] [--mapper M] [--seed S] [--quiet] "
+               "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
+               "[--trace-wall]\n",
                argv0);
   std::exit(2);
+}
+
+/// Run the collective the pattern describes over the reordered communicator,
+/// emitting through the engine's trace sink.
+void run_traced_collective(simmpi::Engine& eng, mapping::Pattern pattern,
+                           const std::vector<Rank>& oldrank) {
+  using collectives::AllgatherAlgo;
+  using collectives::OrderFix;
+  switch (pattern) {
+    case mapping::Pattern::RecursiveDoubling:
+      collectives::run_allgather(
+          eng, {AllgatherAlgo::RecursiveDoubling, OrderFix::InitComm},
+          oldrank);
+      break;
+    case mapping::Pattern::Ring:
+      collectives::run_allgather(eng, {AllgatherAlgo::Ring, OrderFix::None},
+                                 oldrank);
+      break;
+    case mapping::Pattern::Bruck:
+      collectives::run_allgather(eng, {AllgatherAlgo::Bruck, OrderFix::None},
+                                 oldrank);
+      break;
+    case mapping::Pattern::BinomialBcast:
+      collectives::run_bcast(eng, collectives::TreeAlgo::Binomial);
+      break;
+    case mapping::Pattern::BinomialGather:
+      collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
+                              OrderFix::InitComm, oldrank);
+      break;
+    default:
+      throw Error("tarrmap: pattern has no collective to trace");
+  }
 }
 
 simmpi::LayoutSpec parse_layout(const std::string& s) {
@@ -55,6 +102,9 @@ int main(int argc, char** argv) {
   std::string mapper_name = "heuristic";
   std::uint64_t seed = 1;
   bool quiet = false;
+  long long msg_bytes = 16 * 1024;
+  std::string trace_path, metrics_path;
+  bool trace_wall = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -75,6 +125,14 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (!std::strcmp(argv[i], "--quiet")) {
       quiet = true;
+    } else if (!std::strcmp(argv[i], "--msg")) {
+      msg_bytes = std::atoll(next());
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_path = next();
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_path = next();
+    } else if (!std::strcmp(argv[i], "--trace-wall")) {
+      trace_wall = true;
     } else {
       usage(argv[0]);
     }
@@ -90,6 +148,17 @@ int main(int argc, char** argv) {
     core::ReorderFramework::Options opts;
     opts.seed = seed;
     core::ReorderFramework framework(machine, opts);
+
+    // Observability: one Tracer catches the whole run — the framework's
+    // Fig 7 wall spans and mapping decision counters, then the collective's
+    // stages, transfers and link/QPI load below.
+    std::unique_ptr<trace::Tracer> tracer;
+    if (!trace_path.empty() || !metrics_path.empty()) {
+      trace::TracerOptions topts;
+      topts.real_wall_time = trace_wall;
+      tracer = std::make_unique<trace::Tracer>(topts);
+      framework.set_trace_sink(tracer.get());
+    }
 
     const core::ReorderedComm rc = [&] {
       if (mapper_name == "heuristic")
@@ -121,6 +190,25 @@ int main(int argc, char** argv) {
                 mapping::mapping_cost(g, after, d));
     std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
                 rc.mapping_seconds, framework.distance_extraction_seconds());
+
+    if (tracer) {
+      simmpi::Engine eng(rc.comm, simmpi::CostConfig{},
+                         simmpi::ExecMode::Timed, msg_bytes, rc.comm.size());
+      eng.set_trace_sink(tracer.get());
+      run_traced_collective(eng, pattern, rc.oldrank);
+      std::printf("traced  : %s over %d ranks, %lld B blocks, %.1f us "
+                  "simulated\n",
+                  pattern_name.c_str(), rc.comm.size(), msg_bytes,
+                  eng.total());
+      if (!trace_path.empty()) {
+        tracer->write_timeline(trace_path);
+        std::printf("trace   : %s\n", trace_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        tracer->write_metrics(metrics_path);
+        std::printf("metrics : %s\n", metrics_path.c_str());
+      }
+    }
     if (!quiet) {
       std::printf("\nnew_rank -> core (node.local):\n");
       for (Rank j = 0; j < rc.comm.size(); ++j) {

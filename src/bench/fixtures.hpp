@@ -1,13 +1,24 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+
 #include "core/topoallgather.hpp"
 #include "simmpi/layout.hpp"
+#include "trace/tracer.hpp"
 
 /// \file fixtures.hpp
 /// Shared setup for the figure-reproduction benchmarks: the paper-scale
 /// machine (GPC fat-tree, 512 nodes x 8 cores = 4096 processes for the
 /// micro-benchmarks; 128 nodes = 1024 processes for the application runs)
 /// and helpers to build communicators and topology-aware allgather paths.
+/// Also the observability escape hatch for figure harnesses: a
+/// SlowestConfigTrace fed from the sweep loop re-runs the slowest measured
+/// configuration under a tarr::trace::Tracer when TARR_TRACE_OUT /
+/// TARR_TRACE_METRICS are set (see docs/OBSERVABILITY.md).
 
 namespace tarr::bench {
 
@@ -35,6 +46,57 @@ struct BenchWorld {
                            const core::TopoAllgatherConfig& cfg) {
     return core::TopoAllgather(framework, comm(p, spec), cfg);
   }
+};
+
+/// Tracks the slowest configuration a figure harness measures and, on
+/// request, re-runs it with a Tracer attached so the timeline/metrics of the
+/// worst case can be inspected in Perfetto.  Inert (no closure kept, no
+/// re-run, no files) unless TARR_TRACE_OUT or TARR_TRACE_METRICS is set, so
+/// harnesses can feed every measurement through note() unconditionally.
+class SlowestConfigTrace {
+ public:
+  /// Re-executes the configuration against `sink` and returns its latency.
+  using Rerun = std::function<Usec(trace::TraceSink*)>;
+
+  /// True when either environment variable requests a dump.
+  static bool enabled() {
+    return std::getenv("TARR_TRACE_OUT") != nullptr ||
+           std::getenv("TARR_TRACE_METRICS") != nullptr;
+  }
+
+  /// Record one measured configuration.
+  void note(Usec latency, std::string label, Rerun rerun) {
+    if (!enabled()) return;
+    if (!rerun_ || latency > latency_) {
+      latency_ = latency;
+      label_ = std::move(label);
+      rerun_ = std::move(rerun);
+    }
+  }
+
+  /// Re-run the slowest configuration under a Tracer and write the
+  /// requested artifacts.  Returns true when something was written.
+  bool dump() const {
+    if (!rerun_) return false;
+    trace::Tracer tracer;
+    const Usec t = rerun_(&tracer);
+    if (const char* path = std::getenv("TARR_TRACE_OUT")) {
+      tracer.write_timeline(path);
+      std::fprintf(stderr, "trace  : slowest config \"%s\" (%.1f us) -> %s\n",
+                   label_.c_str(), t, path);
+    }
+    if (const char* path = std::getenv("TARR_TRACE_METRICS")) {
+      tracer.write_metrics(path);
+      std::fprintf(stderr, "metrics: slowest config \"%s\" -> %s\n",
+                   label_.c_str(), path);
+    }
+    return true;
+  }
+
+ private:
+  Usec latency_ = 0.0;
+  std::string label_;
+  Rerun rerun_;
 };
 
 }  // namespace tarr::bench

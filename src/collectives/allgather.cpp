@@ -106,7 +106,10 @@ Usec run_allgather(simmpi::Engine& eng, const AllgatherOptions& opts,
     case AllgatherAlgo::RecursiveDoubling: {
       seed_allgather_inputs(eng, oldrank);
       if (opts.fix == OrderFix::InitComm) init_comm_exchange(eng, oldrank);
-      if (p > 1) detail::rd_stages(eng);
+      if (p > 1) {
+        Engine::PhaseScope ps(eng, "recursive-doubling");
+        detail::rd_stages(eng);
+      }
       if (opts.fix == OrderFix::EndShuffle) end_shuffle(eng, oldrank);
       break;
     }
@@ -114,13 +117,17 @@ Usec run_allgather(simmpi::Engine& eng, const AllgatherOptions& opts,
       // Own block goes straight to its original-rank slot.
       for (Rank j = 0; j < p; ++j)
         eng.set_block(j, oldrank[j], static_cast<std::uint32_t>(oldrank[j]));
-      if (p > 1) detail::ring_stages(eng, oldrank);
+      if (p > 1) {
+        Engine::PhaseScope ps(eng, "ring");
+        detail::ring_stages(eng, oldrank);
+      }
       break;
     }
     case AllgatherAlgo::Bruck: {
       for (Rank j = 0; j < p; ++j)
         eng.set_block(j, 0, static_cast<std::uint32_t>(oldrank[j]));
       if (p > 1) {
+        Engine::PhaseScope ps(eng, "bruck");
         bruck_stages(eng, oldrank);
       } else {
         eng.set_block(0, oldrank[0], static_cast<std::uint32_t>(oldrank[0]));

@@ -133,9 +133,18 @@ Usec run_hier_allgather(simmpi::Engine& eng, const HierAllgatherOptions& opts,
   seed_allgather_inputs(eng, oldrank);
   if (opts.fix == OrderFix::InitComm) init_comm_exchange(eng, oldrank);
 
-  intra_gather(eng, cpn, opts.intra);
-  leader_exchange(eng, cpn, opts.leader_algo);
-  intra_bcast(eng, cpn, opts.intra);
+  {
+    Engine::PhaseScope ps(eng, "intra-gather");
+    intra_gather(eng, cpn, opts.intra);
+  }
+  {
+    Engine::PhaseScope ps(eng, "leader-exchange");
+    leader_exchange(eng, cpn, opts.leader_algo);
+  }
+  {
+    Engine::PhaseScope ps(eng, "intra-bcast");
+    intra_bcast(eng, cpn, opts.intra);
+  }
 
   if (opts.fix == OrderFix::EndShuffle) end_shuffle(eng, oldrank);
   return eng.total() - before;
@@ -168,7 +177,10 @@ Usec run_hier_allgather_pipelined(simmpi::Engine& eng, IntraAlgo gather_algo,
 
   seed_allgather_inputs(eng, oldrank);
   if (fix == OrderFix::InitComm) init_comm_exchange(eng, oldrank);
-  intra_gather(eng, cpn, gather_algo);
+  {
+    Engine::PhaseScope ps(eng, "intra-gather");
+    intra_gather(eng, cpn, gather_algo);
+  }
 
   // Superstage t carries the ring transfer of step t (t < nodes-1) plus,
   // for every node and every broadcast depth k, the binomial sub-stage k of
@@ -204,31 +216,34 @@ Usec run_hier_allgather_pipelined(simmpi::Engine& eng, IntraAlgo gather_algo,
     return false;
   };
 
-  for (int t = 0; t < superstages; ++t) {
-    if (!superstage_live(t)) continue;
-    eng.begin_stage();
-    if (t < ring_steps) {
-      for (int b = 0; b < nodes; ++b) {
-        const int origin = (b - t + nodes) % nodes;
-        eng.copy(b * cpn, origin * cpn, ((b + 1) % nodes) * cpn,
-                 origin * cpn, cpn);
+  {
+    Engine::PhaseScope ps(eng, "pipelined-ring-bcast");
+    for (int t = 0; t < superstages; ++t) {
+      if (!superstage_live(t)) continue;
+      eng.begin_stage();
+      if (t < ring_steps) {
+        for (int b = 0; b < nodes; ++b) {
+          const int origin = (b - t + nodes) % nodes;
+          eng.copy(b * cpn, origin * cpn, ((b + 1) % nodes) * cpn,
+                   origin * cpn, cpn);
+        }
       }
-    }
-    if (cpn > 1) {
-      for (int b = 0; b < nodes; ++b) {
-        for (int k = 1; k <= depth; ++k) {
-          const int avail = t - k + 1;  // availability superstage of chunk
-          if (avail == 0) {
-            emit_bcast_substage(b, b, k);
-          } else if (avail >= 1 && avail - 1 < ring_steps) {
-            const int s = avail - 1;  // ring step that delivered it
-            const int origin = (b - 1 - s + nodes) % nodes;
-            emit_bcast_substage(b, origin, k);
+      if (cpn > 1) {
+        for (int b = 0; b < nodes; ++b) {
+          for (int k = 1; k <= depth; ++k) {
+            const int avail = t - k + 1;  // availability superstage of chunk
+            if (avail == 0) {
+              emit_bcast_substage(b, b, k);
+            } else if (avail >= 1 && avail - 1 < ring_steps) {
+              const int s = avail - 1;  // ring step that delivered it
+              const int origin = (b - 1 - s + nodes) % nodes;
+              emit_bcast_substage(b, origin, k);
+            }
           }
         }
       }
+      eng.end_stage();
     }
-    eng.end_stage();
   }
 
   if (fix == OrderFix::EndShuffle) end_shuffle(eng, oldrank);

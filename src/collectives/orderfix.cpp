@@ -29,6 +29,7 @@ void init_comm_exchange(simmpi::Engine& eng,
   for (Rank j = 0; j < p; ++j) any |= holder[j] != j;
   if (!any) return;
 
+  simmpi::Engine::PhaseScope ps(eng, "init-comm-exchange");
   eng.begin_stage();
   for (Rank j = 0; j < p; ++j) {
     if (holder[j] != j) eng.copy(holder[j], holder[j], j, j, 1);

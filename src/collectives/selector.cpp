@@ -1,16 +1,30 @@
 #include "collectives/selector.hpp"
 
 #include "common/bits.hpp"
+#include "trace/sink.hpp"
 
 namespace tarr::collectives {
+
+namespace {
+
+/// The selector is a pure function, so its decision counters go to the
+/// ambient thread sink (one thread-local load when tracing is off).
+AllgatherAlgo count_pick(AllgatherAlgo algo, const char* name) {
+  if (trace::TraceSink* sink = trace::thread_sink())
+    sink->add_count(std::string("selector.") + name, 1.0);
+  return algo;
+}
+
+}  // namespace
 
 AllgatherAlgo select_allgather_algo(int p, Bytes msg_bytes,
                                     const SelectorConfig& cfg) {
   if (msg_bytes < cfg.rd_max_msg) {
-    return is_pow2(p) ? AllgatherAlgo::RecursiveDoubling
-                      : AllgatherAlgo::Bruck;
+    return is_pow2(p)
+               ? count_pick(AllgatherAlgo::RecursiveDoubling, "rd")
+               : count_pick(AllgatherAlgo::Bruck, "bruck");
   }
-  return AllgatherAlgo::Ring;
+  return count_pick(AllgatherAlgo::Ring, "ring");
 }
 
 }  // namespace tarr::collectives

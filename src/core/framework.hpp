@@ -9,6 +9,7 @@
 #include "simmpi/communicator.hpp"
 #include "topology/distance.hpp"
 #include "topology/machine.hpp"
+#include "trace/sink.hpp"
 
 /// \file framework.hpp
 /// The run-time rank-reordering framework of §IV — the paper's primary
@@ -54,6 +55,15 @@ class ReorderFramework {
   /// Wall-clock seconds the one-time distance extraction took (0 until the
   /// first distances() call) — the quantity of Fig 7a.
   double distance_extraction_seconds() const { return extract_seconds_; }
+
+  /// Install a trace sink (tarr::trace): the framework then emits the Fig 7
+  /// overhead decomposition as wall-clock spans ("distance-extraction",
+  /// "map:<mapper>") and installs the sink as the ambient thread sink
+  /// around each mapping run, so the heuristics' decision counters
+  /// (placements, tie-breaks, bisection levels, refinement swaps) are
+  /// collected too.  nullptr (the default) disables all of it.
+  void set_trace_sink(trace::TraceSink* sink) { sink_ = sink; }
+  trace::TraceSink* trace_sink() const { return sink_; }
 
   /// Reorder `comm` for `pattern` with the paper's fine-tuned heuristic.
   /// When the framework is disabled this returns the identity reorder with
@@ -112,6 +122,7 @@ class ReorderFramework {
   std::optional<topology::DistanceMatrix> node_dist_;
   std::optional<topology::DistanceMatrix> intra_dist_;
   double extract_seconds_ = 0.0;
+  trace::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace tarr::core

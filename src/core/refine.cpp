@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "simmpi/engine.hpp"
+#include "trace/sink.hpp"
 
 namespace tarr::core {
 
@@ -50,9 +51,15 @@ RefineResult refine_by_simulation(const simmpi::Communicator& original,
     }
   }
 
+  const double seconds = timer.seconds();
+  if (trace::TraceSink* sink = trace::thread_sink()) {
+    sink->add_count("refine.swaps_accepted", accepted);
+    sink->add_count("refine.swaps_rejected", evaluations - 1 - accepted);
+    sink->on_wall_span(trace::WallSpan{"refine", seconds});
+  }
   return RefineResult{
       ReorderedComm{original.reordered(cores), std::move(oldrank),
-                    start.mapping_seconds + timer.seconds()},
+                    start.mapping_seconds + seconds},
       start_objective, best, accepted, evaluations};
 }
 

@@ -114,6 +114,11 @@ const ReorderedComm* TopoAllgather::baseline_internal_reorder() {
 }
 
 Usec TopoAllgather::execute(simmpi::ExecMode mode, Bytes msg) {
+  // The ambient thread sink carries the trace into reorders performed on
+  // first use (ReorderFramework falls back to it when its own sink is
+  // unset); the engine below gets the sink directly.
+  trace::ScopedThreadSink ambient(sink_ != nullptr ? sink_
+                                                   : trace::thread_sink());
   const int p = comm_.size();
   AllgatherAlgo algo;
   if (cfg_.hierarchical) {
@@ -146,6 +151,7 @@ Usec TopoAllgather::execute(simmpi::ExecMode mode, Bytes msg) {
       rc ? rc->oldrank : identity_permutation(p);
 
   simmpi::Engine eng(use_comm, cfg_.cost, mode, msg, p);
+  if (sink_ != nullptr) eng.set_trace_sink(sink_);
   if (cfg_.hierarchical) {
     if (cfg_.pipelined && algo == AllgatherAlgo::Ring) {
       collectives::run_hier_allgather_pipelined(eng, cfg_.intra, fix,

@@ -9,6 +9,7 @@
 #include "collectives/selector.hpp"
 #include "core/framework.hpp"
 #include "simmpi/engine.hpp"
+#include "trace/sink.hpp"
 
 /// \file topoallgather.hpp
 /// High-level topology-aware MPI_Allgather: the user-facing composition of
@@ -74,6 +75,15 @@ class TopoAllgather {
   /// (creating it if needed).
   const ReorderedComm& reordered_for(Bytes msg);
 
+  /// Observability (tarr::trace): every engine that latency()/run_and_check()
+  /// creates emits stages, transfers and link/QPI load through `sink`, and
+  /// the sink is installed as the ambient thread sink around the body so
+  /// reorders triggered on first use emit their Fig 7 wall spans and mapping
+  /// decision counters too.  Pass nullptr to stop tracing.  `sink` must
+  /// outlive the traced calls.
+  void set_trace_sink(trace::TraceSink* sink) { sink_ = sink; }
+  trace::TraceSink* trace_sink() const { return sink_; }
+
  private:
   /// Key of the reorder cache: the algorithm (leader algorithm when
   /// hierarchical) the selector picked.
@@ -96,6 +106,7 @@ class TopoAllgather {
   std::optional<ReorderedComm> baseline_reorder_;
   bool baseline_reorder_computed_ = false;
   double mapping_seconds_ = 0.0;
+  trace::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace tarr::core

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "fault/degraded.hpp"
 #include "fault/fault_mask.hpp"
 #include "fault/shrink.hpp"
@@ -20,6 +21,7 @@
 #include "simmpi/layout.hpp"
 #include "topology/distance.hpp"
 #include "topology/routing.hpp"
+#include "trace/metrics.hpp"
 
 namespace tarr::fault {
 
@@ -65,40 +67,60 @@ std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
   return z ^ (z >> 31);
 }
 
+void accumulate(simmpi::TransientFaultStats& into,
+                const simmpi::TransientFaultStats& s) {
+  into.attempts += s.attempts;
+  into.drops += s.drops;
+  into.corruptions += s.corruptions;
+  into.retransmissions += s.retransmissions;
+  into.retransmitted_bytes += s.retransmitted_bytes;
+  into.timeout_wait += s.timeout_wait;
+}
+
 /// Price one pattern-matched collective over `cores` on the degraded
 /// machine.  `oldrank[j]` = initial (pre-reorder) index of the process on
-/// cores[j] within the run's slot set.
+/// cores[j] within the run's slot set.  The run's transient-fault counters
+/// are folded into `stats_out`; trace emission flows through `sink`.
 Usec price_run(const CampaignConfig& cfg, const DegradedTopology& topo,
                const PatternSpec& spec, std::vector<CoreId> cores,
-               const std::vector<Rank>& oldrank, std::uint64_t transient_seed) {
+               const std::vector<Rank>& oldrank, std::uint64_t transient_seed,
+               simmpi::TransientFaultStats& stats_out,
+               trace::TraceSink* sink) {
   const int p = static_cast<int>(cores.size());
   simmpi::Communicator comm(topo.machine(), std::move(cores));
   simmpi::Engine eng(comm, cfg.cost, simmpi::ExecMode::Timed,
                      cfg.block_bytes, p);
+  eng.set_trace_sink(sink);
   if (cfg.transient.enabled()) {
     simmpi::TransientFaultConfig t = cfg.transient;
     t.seed = transient_seed;
     eng.set_transient_faults(t);
   }
+  Usec cost = 0.0;
   // InitComm is the §V-B fix the evaluation uses for the heuristic path.
   switch (spec.op) {
     case Op::RdAllgather:
-      return collectives::run_allgather(
+      cost = collectives::run_allgather(
           eng,
           {collectives::AllgatherAlgo::RecursiveDoubling,
            collectives::OrderFix::InitComm},
           oldrank);
+      break;
     case Op::RingAllgather:
-      return collectives::run_allgather(
+      cost = collectives::run_allgather(
           eng, {collectives::AllgatherAlgo::Ring, collectives::OrderFix::None},
           oldrank);
+      break;
     case Op::BinomialBcast:
-      return collectives::run_bcast(eng, collectives::TreeAlgo::Binomial);
+      cost = collectives::run_bcast(eng, collectives::TreeAlgo::Binomial);
+      break;
     case Op::BinomialGather:
-      return collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
+      cost = collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
                                      collectives::OrderFix::InitComm, oldrank);
+      break;
   }
-  throw Error("campaign: unknown op");
+  accumulate(stats_out, eng.transient_stats());
+  return cost;
 }
 
 /// oldrank[j] = position of cores[j] in the baseline slot order.
@@ -125,8 +147,10 @@ const char* to_string(FailureKind k) {
   return k == FailureKind::Links ? "links" : "nodes";
 }
 
-CampaignResult run_fault_campaign(const CampaignConfig& cfg) {
+CampaignResult run_fault_campaign(const CampaignConfig& cfg,
+                                  trace::TraceSink* sink) {
   validate(cfg);
+  WallTimer campaign_timer;
 
   const topology::Machine base(
       topology::NodeShape{},
@@ -211,8 +235,8 @@ CampaignResult run_fault_campaign(const CampaignConfig& cfg) {
         row.ranks = p;
 
         // baseline: initial layout untouched.
-        row.baseline_usec =
-            price_run(cfg, topo, spec, slots, identity, fault_seed);
+        row.baseline_usec = price_run(cfg, topo, spec, slots, identity,
+                                      fault_seed, row.transient, sink);
 
         // stale: the heuristic's pre-failure answer (pristine distances)
         // replayed on the degraded fabric.
@@ -222,7 +246,8 @@ CampaignResult run_fault_campaign(const CampaignConfig& cfg) {
         row.stale_usec = price_run(
             cfg, topo, spec,
             std::vector<CoreId>(stale_map.begin(), stale_map.end()),
-            oldrank_of(slots, stale_map, total), fault_seed);
+            oldrank_of(slots, stale_map, total), fault_seed, row.transient,
+            sink);
 
         // remap: the heuristic re-run on the degraded distance matrix.
         Rng remap_rng(map_seed);
@@ -231,11 +256,27 @@ CampaignResult run_fault_campaign(const CampaignConfig& cfg) {
         row.remap_usec = price_run(
             cfg, topo, spec,
             std::vector<CoreId>(remap_map.begin(), remap_map.end()),
-            oldrank_of(slots, remap_map, total), fault_seed);
+            oldrank_of(slots, remap_map, total), fault_seed, row.transient,
+            sink);
 
         result.rows.push_back(std::move(row));
       }
     }
+  }
+  if (sink != nullptr) {
+    simmpi::TransientFaultStats agg;
+    for (const CampaignRow& r : result.rows) accumulate(agg, r.transient);
+    sink->add_count("campaign.rows", static_cast<double>(result.rows.size()));
+    sink->add_count("campaign.partitioned_trials",
+                    static_cast<double>(result.partitioned_trials));
+    sink->add_count("fault.attempts", static_cast<double>(agg.attempts));
+    sink->add_count("fault.drops", static_cast<double>(agg.drops));
+    sink->add_count("fault.corruptions",
+                    static_cast<double>(agg.corruptions));
+    sink->add_count("fault.campaign_retransmissions",
+                    static_cast<double>(agg.retransmissions));
+    sink->on_wall_span(
+        trace::WallSpan{"fault-campaign", campaign_timer.seconds()});
   }
   return result;
 }
@@ -244,7 +285,7 @@ std::string CampaignResult::csv() const {
   bench::CsvWriter w;
   w.set_header({"kind", "failures", "trial", "pattern", "mapper", "survivors",
                 "ranks", "partitioned", "baseline_usec", "stale_usec",
-                "remap_usec"});
+                "remap_usec", "drops", "corruptions", "retransmissions"});
   for (const CampaignRow& r : rows) {
     w.add_row({to_string(config.kind), std::to_string(r.failures),
                std::to_string(r.trial), r.pattern, r.mapper,
@@ -252,9 +293,35 @@ std::string CampaignResult::csv() const {
                r.partitioned ? "1" : "0",
                r.partitioned ? "" : fmt_usec(r.baseline_usec),
                r.partitioned ? "" : fmt_usec(r.stale_usec),
-               r.partitioned ? "" : fmt_usec(r.remap_usec)});
+               r.partitioned ? "" : fmt_usec(r.remap_usec),
+               std::to_string(r.transient.drops),
+               std::to_string(r.transient.corruptions),
+               std::to_string(r.transient.retransmissions)});
   }
   return w.to_string();
+}
+
+std::string CampaignResult::metrics_csv() const {
+  trace::MetricsRegistry reg;
+  reg.add_count("campaign.rows", static_cast<double>(rows.size()));
+  reg.add_count("campaign.partitioned_trials",
+                static_cast<double>(partitioned_trials));
+  for (const CampaignRow& r : rows) {
+    if (r.partitioned) continue;
+    reg.add_count("campaign.baseline_usec", r.baseline_usec);
+    reg.add_count("campaign.stale_usec", r.stale_usec);
+    reg.add_count("campaign.remap_usec", r.remap_usec);
+    reg.add_count("fault.attempts", static_cast<double>(r.transient.attempts));
+    reg.add_count("fault.drops", static_cast<double>(r.transient.drops));
+    reg.add_count("fault.corruptions",
+                  static_cast<double>(r.transient.corruptions));
+    reg.add_count("fault.retransmissions",
+                  static_cast<double>(r.transient.retransmissions));
+    reg.add_count("fault.retransmitted_bytes",
+                  static_cast<double>(r.transient.retransmitted_bytes));
+    reg.add_count("fault.timeout_wait_usec", r.transient.timeout_wait);
+  }
+  return reg.csv();
 }
 
 std::string CampaignResult::json() const {

@@ -6,6 +6,7 @@
 #include "simmpi/costmodel.hpp"
 #include "simmpi/transient.hpp"
 #include "topology/fattree.hpp"
+#include "trace/sink.hpp"
 
 /// \file campaign.hpp
 /// Monte Carlo fault campaigns: how much of the mapping heuristics' benefit
@@ -71,6 +72,9 @@ struct CampaignRow {
   double baseline_usec = 0.0;
   double stale_usec = 0.0;
   double remap_usec = 0.0;
+  /// Transient-fault counters summed over the row's three priced runs
+  /// (all zero when the transient model is disabled).
+  simmpi::TransientFaultStats transient;
 };
 
 /// Full campaign output.
@@ -88,9 +92,18 @@ struct CampaignResult {
   /// Human-readable per-(failures, pattern) means with improvement
   /// percentages of stale/remap over baseline.
   std::string summary() const;
+
+  /// Machine-readable campaign metrics (tarr::trace registry schema
+  /// `category,key,count,total,peak`): per-trial outcome counts and the
+  /// aggregated transient-fault counters (drops, corruptions,
+  /// retransmissions, retransmitted bytes, timeout wait).
+  std::string metrics_csv() const;
 };
 
-/// Run the campaign.  Deterministic: same config, same result.
-CampaignResult run_fault_campaign(const CampaignConfig& cfg);
+/// Run the campaign.  Deterministic: same config, same result.  When `sink`
+/// is non-null, the campaign emits its aggregate counters and a wall-clock
+/// span through it (tarr::trace).
+CampaignResult run_fault_campaign(const CampaignConfig& cfg,
+                                  trace::TraceSink* sink = nullptr);
 
 }  // namespace tarr::fault

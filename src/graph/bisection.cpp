@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "trace/sink.hpp"
 
 namespace tarr::graph {
 
@@ -112,6 +113,7 @@ BisectionResult bisect_subset(const WeightedGraph& g,
   // D[i] = external - internal connection.  Swapping (u in 0, v in 1) changes
   // the cut by -(D[u] + D[v] - 2 w(u,v)); accept best positive-gain swap from
   // a bounded candidate window, repeat for a few passes.
+  long long swaps = 0;
   std::vector<double> d(n);
   auto recompute_d = [&](int i) {
     const int s = res.side[i];
@@ -151,6 +153,7 @@ BisectionResult bisect_subset(const WeightedGraph& g,
       if (bu < 0) break;
       std::swap(res.side[bu], res.side[bv]);
       improved = true;
+      ++swaps;
       // Refresh D locally: the swapped pair and their subset neighbors.
       recompute_d(bu);
       recompute_d(bv);
@@ -177,6 +180,10 @@ BisectionResult bisect_subset(const WeightedGraph& g,
     }
   }
   res.cut = cut;
+  if (trace::TraceSink* sink = trace::thread_sink()) {
+    sink->add_count("bisection.calls", 1.0);
+    sink->add_count("bisection.refine_swaps", static_cast<double>(swaps));
+  }
   return res;
 }
 

@@ -4,6 +4,7 @@
 
 #include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
+#include "trace/sink.hpp"
 
 namespace tarr::mapping {
 
@@ -60,6 +61,10 @@ int MappingState::find_closest_to(Rank ref_rank) {
       if (rng_->next_below(static_cast<std::uint64_t>(ties)) == 0) chosen = s;
     }
   }
+  if (ties > 1) {
+    if (trace::TraceSink* sink = trace::thread_sink())
+      sink->add_count("mapping.tie_breaks", 1.0);
+  }
   return chosen;
 }
 
@@ -78,6 +83,8 @@ void MappingState::assign(Rank rank, int slot) {
   free_index_[slot] = -1;
   assignment_[rank] = slot;
   ++mapped_;
+  if (trace::TraceSink* sink = trace::thread_sink())
+    sink->add_count("mapping.placements", 1.0);
   // The swap-remove pool and its index must stay mutually consistent; a
   // bookkeeping slip here surfaces far away as a duplicate assignment.
   // O(p) per placement, so only in TARR_SLOW_CHECKS builds.

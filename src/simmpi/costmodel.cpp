@@ -80,12 +80,19 @@ Usec CostModel::finish_stage() {
   const auto& m = *machine_;
   const auto& net = m.network();
 
+  if (capture_details_) {
+    detail_ = StageDetail{};
+    detail_.transfers.reserve(pending_.size());
+  }
+
   Usec stage = 0.0;
   for (const Pending& t : pending_) {
     const NodeId na = m.node_of_core(t.src);
     const NodeId nb = m.node_of_core(t.dst);
     const double own = static_cast<double>(t.bytes);
     Usec cost;
+    trace::Channel channel = trace::Channel::Network;
+    double contention = 1.0;  ///< slowdown over the uncontended floor
     if (na == nb) {
       const SocketId sa = m.socket_of_core(t.src);
       const SocketId sb = m.socket_of_core(t.dst);
@@ -95,14 +102,19 @@ Usec CostModel::finish_stage() {
         const bool same_complex =
             m.complex_of_core(t.src) == m.complex_of_core(t.dst);
         if (same_complex) bw_time = own * cfg_.beta_shm_complex_pair;
+        const double floor = bw_time;
         if (cfg_.model_contention) {
           bw_time = std::max(bw_time,
                              socket_load(na, sa) * cfg_.beta_mem_socket);
         }
+        if (floor > 0.0) contention = bw_time / floor;
+        channel = same_complex ? trace::Channel::SameComplex
+                               : trace::Channel::SameSocket;
         cost = (same_complex ? cfg_.alpha_shm_complex
                              : cfg_.alpha_shm_socket) +
                bw_time;
       } else {
+        const double floor = bw_time;
         if (cfg_.model_contention) {
           const double mem =
               std::max(socket_load(na, sa), socket_load(na, sb));
@@ -110,6 +122,8 @@ Usec CostModel::finish_stage() {
           bw_time = std::max({bw_time, mem * cfg_.beta_mem_socket,
                               qpi * cfg_.beta_qpi});
         }
+        if (floor > 0.0) contention = bw_time / floor;
+        channel = trace::Channel::CrossSocket;
         cost = cfg_.alpha_shm_cross + bw_time;
       }
     } else {
@@ -124,9 +138,14 @@ Usec CostModel::finish_stage() {
           at = net.other_end(l, at);
         }
       }
+      if (own > 0.0) contention = bottleneck / own;
       cost = cfg_.alpha_net +
              cfg_.alpha_hop * static_cast<double>(path.size()) +
              bottleneck * cfg_.beta_net;
+    }
+    if (capture_details_) {
+      detail_.transfers.push_back(
+          TransferRecord{t.src, t.dst, t.bytes, cost, channel, contention});
     }
     stage = std::max(stage, cost);
   }
@@ -141,6 +160,21 @@ Usec CostModel::finish_stage() {
   for (int idx : touched_qpi_)
     last_stats_.max_qpi_bytes =
         std::max(last_stats_.max_qpi_bytes, qpi_bytes_[idx]);
+
+  if (capture_details_) {
+    // Snapshot the directed resource loads before the touched-list reset
+    // wipes them.  Touched-list order is the (deterministic) first-touch
+    // order of the stage's transfers.
+    detail_.link_loads.reserve(touched_links_.size());
+    for (int idx : touched_links_) {
+      detail_.link_loads.push_back(LinkLoad{
+          idx / 2, idx % 2, link_bytes_[idx],
+          link_bytes_[idx] / net.link(idx / 2).capacity});
+    }
+    detail_.qpi_loads.reserve(touched_qpi_.size());
+    for (int idx : touched_qpi_)
+      detail_.qpi_loads.push_back(QpiLoad{idx / 2, idx % 2, qpi_bytes_[idx]});
+  }
 
   pending_.clear();
   for (int idx : touched_links_) link_bytes_[idx] = 0.0;

@@ -4,6 +4,7 @@
 
 #include "simmpi/communicator.hpp"
 #include "topology/machine.hpp"
+#include "trace/sink.hpp"
 
 /// \file costmodel.hpp
 /// Contention-aware communication cost model.
@@ -88,6 +89,43 @@ class CostModel {
   };
   const StageStats& last_stage_stats() const { return last_stats_; }
 
+  /// Full per-transfer and per-resource breakdown of one stage — the data
+  /// tarr::trace turns into transfer spans and load counter tracks.  Opt-in
+  /// because it allocates per stage; with capture off, finish_stage() does
+  /// no extra work beyond one branch.
+  struct TransferRecord {
+    CoreId src = 0;
+    CoreId dst = 0;
+    Bytes bytes = 0;
+    Usec cost = 0.0;  ///< this transfer's priced cost within the stage
+    trace::Channel channel = trace::Channel::Network;
+    double contention = 1.0;  ///< cost inflation over the uncontended floor
+  };
+  struct LinkLoad {
+    LinkId link = 0;
+    int dir = 0;
+    double bytes = 0.0;     ///< aggregate directed byte load this stage
+    double relative = 0.0;  ///< bytes / link capacity (the Fig 4 heat)
+  };
+  struct QpiLoad {
+    NodeId node = 0;
+    int dir = 0;
+    double bytes = 0.0;
+  };
+  struct StageDetail {
+    std::vector<TransferRecord> transfers;  ///< submission order
+    std::vector<LinkLoad> link_loads;       ///< every directed link touched
+    std::vector<QpiLoad> qpi_loads;         ///< every QPI direction touched
+  };
+
+  /// Enable/disable detail capture (off by default).
+  void set_capture_details(bool on) { capture_details_ = on; }
+  bool capture_details() const { return capture_details_; }
+
+  /// Detail of the stage most recently finished; empty unless capture was
+  /// enabled before that finish_stage() call.
+  const StageDetail& last_stage_detail() const { return detail_; }
+
   /// Cost of a node-local memory copy of `bytes` bytes.
   Usec local_copy_cost(Bytes bytes) const;
 
@@ -117,6 +155,8 @@ class CostModel {
   std::vector<int> touched_qpi_;
   std::vector<int> touched_sockets_;
   StageStats last_stats_;
+  StageDetail detail_;
+  bool capture_details_ = false;
   bool stage_open_ = false;
 };
 

@@ -27,6 +27,27 @@ Engine::Engine(const Communicator& comm, const CostConfig& cfg, ExecMode mode,
   }
 }
 
+void Engine::set_trace_sink(trace::TraceSink* sink) {
+  TARR_REQUIRE(!stage_open_, "set_trace_sink: stage still open");
+  sink_ = sink;
+  // Transfer spans and load counters are derived from the cost model's
+  // per-stage detail, so capture follows the sink's lifetime.
+  cost_.set_capture_details(sink != nullptr);
+}
+
+void Engine::trace_phase_begin(std::string name) {
+  if (sink_ == nullptr) return;
+  phase_stack_.emplace_back(std::move(name), total_);
+}
+
+void Engine::trace_phase_end() {
+  if (phase_stack_.empty()) return;  // no sink at begin time (or mismatch)
+  auto [name, start] = std::move(phase_stack_.back());
+  phase_stack_.pop_back();
+  if (sink_ != nullptr)
+    sink_->on_phase(trace::PhaseEvent{std::move(name), start, total_ - start});
+}
+
 void Engine::set_transient_faults(const TransientFaultConfig& cfg) {
   TARR_REQUIRE(!stage_open_ && stages_executed_ == 0,
                "set_transient_faults: must be armed before the first stage");
@@ -125,6 +146,15 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
     // as one more concurrent transfer of the stage (attempts == 1 when the
     // fault model is off — the exact fault-free path).
     const int attempts = fault_cfg_ ? draw_attempts(bytes) : 1;
+    if (sink_ != nullptr) {
+      // Attempts are submitted consecutively, so the logical transfer's
+      // detail record is the running attempt count before this submission.
+      const int record = stage_xfers_.empty()
+                             ? 0
+                             : stage_xfers_.back().record +
+                                   stage_xfers_.back().attempts;
+      stage_xfers_.push_back(TraceXfer{src, dst, bytes, attempts, record});
+    }
     for (int a = 0; a < attempts; ++a)
       cost_.add_transfer(comm_->core_of(src), comm_->core_of(dst), bytes);
     // Observers see the logical transfer once, independent of retries.
@@ -144,11 +174,21 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
 Usec Engine::end_stage() {
   TARR_REQUIRE(stage_open_, "end_stage: no open stage");
   if (verifier_) verifier_->on_end_stage();
+  const Usec stage_start = total_;
   Usec stage = cost_.finish_stage();
   for (Rank r = 0; r < comm_->size(); ++r) {
     if (local_bytes_per_rank_scratch_[r] > 0.0) {
-      stage = std::max(stage, cost_.local_copy_cost(static_cast<Bytes>(
-                                  local_bytes_per_rank_scratch_[r])));
+      const Bytes bytes =
+          static_cast<Bytes>(local_bytes_per_rank_scratch_[r]);
+      const Usec cost = cost_.local_copy_cost(bytes);
+      stage = std::max(stage, cost);
+      if (sink_ != nullptr) {
+        // Local copies are aggregated per rank by the cost model, so the
+        // trace shows one Local span per copying rank and stage.
+        sink_->on_transfer(trace::TransferEvent{
+            stages_executed_, r, r, comm_->core_of(r), comm_->core_of(r),
+            bytes, trace::Channel::Local, 1.0, 1, stage_start, cost});
+      }
       local_bytes_per_rank_scratch_[r] = 0.0;
     }
   }
@@ -173,12 +213,48 @@ Usec Engine::end_stage() {
   pending_.clear();
   stage_open_ = false;
   last_stage_cost_ = stage;
+  last_stage_transfers_ = transfers;
   total_ += stage;
   peak_link_bytes_ =
       std::max(peak_link_bytes_, cost_.last_stage_stats().max_link_bytes);
+  if (sink_ != nullptr) emit_stage_trace(stage_start, stage);
   if (observer_) observer_(stages_executed_, transfers, stage);
   ++stages_executed_;
   return stage;
+}
+
+void Engine::emit_stage_trace(Usec stage_start, Usec stage_cost) {
+  const CostModel::StageDetail& d = cost_.last_stage_detail();
+  // Remote transfer spans, priced with the channel class and contention
+  // factor the cost model attributed to each (first attempt's record; the
+  // retries reload the same channel).
+  for (const TraceXfer& x : stage_xfers_) {
+    const CostModel::TransferRecord& rec = d.transfers[x.record];
+    sink_->on_transfer(trace::TransferEvent{
+        stages_executed_, x.src, x.dst, comm_->core_of(x.src),
+        comm_->core_of(x.dst), x.bytes, rec.channel, rec.contention,
+        x.attempts, stage_start, rec.cost});
+  }
+  stage_xfers_.clear();
+  // Per-resource load counters: the stage's byte load at stage start, back
+  // to zero at stage end, one counter track per directed cable/QPI link.
+  const Usec stage_end = stage_start + stage_cost;
+  for (const auto& ll : d.link_loads)
+    sink_->on_counter(trace::CounterSample{trace::CounterSample::Kind::Link,
+                                           ll.link, ll.dir, stage_start,
+                                           ll.bytes});
+  for (const auto& ql : d.qpi_loads)
+    sink_->on_counter(trace::CounterSample{trace::CounterSample::Kind::Qpi,
+                                           ql.node, ql.dir, stage_start,
+                                           ql.bytes});
+  for (const auto& ll : d.link_loads)
+    sink_->on_counter(trace::CounterSample{trace::CounterSample::Kind::Link,
+                                           ll.link, ll.dir, stage_end, 0.0});
+  for (const auto& ql : d.qpi_loads)
+    sink_->on_counter(trace::CounterSample{trace::CounterSample::Kind::Qpi,
+                                           ql.node, ql.dir, stage_end, 0.0});
+  sink_->on_stage(trace::StageEvent{stages_executed_, last_stage_transfers_,
+                                    1, stage_start, stage_cost});
 }
 
 void Engine::repeat_last_stage(int extra) {
@@ -186,6 +262,12 @@ void Engine::repeat_last_stage(int extra) {
   TARR_REQUIRE(mode_ == ExecMode::Timed,
                "repeat_last_stage: only valid in Timed mode");
   TARR_REQUIRE(extra >= 0, "repeat_last_stage: negative repeat count");
+  if (sink_ != nullptr && extra > 0 && stages_executed_ > 0) {
+    // One compressed span covering all repeats of the stage just ended.
+    sink_->on_stage(trace::StageEvent{
+        stages_executed_ - 1, last_stage_transfers_, extra, total_,
+        last_stage_cost_ * static_cast<double>(extra)});
+  }
   total_ += last_stage_cost_ * static_cast<double>(extra);
 }
 
@@ -208,7 +290,11 @@ void Engine::local_permute_all(const std::vector<int>& dst_of_block) {
       buf = tmp;
     }
   }
-  total_ += cost_.local_copy_cost(static_cast<Bytes>(moved) * block_bytes_);
+  const Usec cost =
+      cost_.local_copy_cost(static_cast<Bytes>(moved) * block_bytes_);
+  if (sink_ != nullptr)
+    sink_->on_phase(trace::PhaseEvent{"local-shuffle", total_, cost});
+  total_ += cost;
 }
 
 }  // namespace tarr::simmpi

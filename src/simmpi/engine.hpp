@@ -4,6 +4,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "check/stage_verifier.hpp"
@@ -11,6 +13,7 @@
 #include "simmpi/communicator.hpp"
 #include "simmpi/costmodel.hpp"
 #include "simmpi/transient.hpp"
+#include "trace/sink.hpp"
 
 /// \file engine.hpp
 /// Stage-synchronous execution engine for collective schedules.
@@ -128,6 +131,35 @@ class Engine {
   /// Number of stages executed so far.
   int stages_executed() const { return stages_executed_; }
 
+  /// Install a trace sink (tarr::trace): every stage, transfer (with channel
+  /// class, contention factor and retransmission attempts), link/QPI load
+  /// sample and collective phase is emitted through it.  nullptr (the
+  /// default) disables emission — the engine then does no tracing work
+  /// beyond one pointer check per event site, and all simulated costs and
+  /// payloads are bit-identical to a sink-free run.  Must be called outside
+  /// a stage; enables the cost model's detail capture while installed.
+  void set_trace_sink(trace::TraceSink* sink);
+  trace::TraceSink* trace_sink() const { return sink_; }
+
+  /// Open/close a named phase span covering the stages executed in between
+  /// (collective phases, §V-B shuffles).  Nestable; no-ops without a sink.
+  void trace_phase_begin(std::string name);
+  void trace_phase_end();
+
+  /// RAII phase span.
+  class PhaseScope {
+   public:
+    PhaseScope(Engine& eng, const char* name) : eng_(&eng) {
+      eng_->trace_phase_begin(name);
+    }
+    ~PhaseScope() { eng_->trace_phase_end(); }
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    Engine* eng_;
+  };
+
   /// Transfer introspection: invoked for every copy()/combine() between
   /// distinct ranks, with the endpoint cores and the byte count.  Local
   /// copies (src == dst) are not reported.  Used by property tests (e.g.
@@ -148,6 +180,18 @@ class Engine {
 
   void enqueue(Rank src, int src_off, Rank dst, int dst_off, int nblocks,
                bool combining);
+
+  /// One logical remote transfer of the open stage, as seen by the trace
+  /// layer: `record` indexes the transfer's *first* attempt in the cost
+  /// model's StageDetail (attempts are submitted consecutively).
+  struct TraceXfer {
+    Rank src, dst;
+    Bytes bytes;
+    int attempts;
+    int record;
+  };
+
+  void emit_stage_trace(Usec stage_start, Usec stage_cost);
 
   /// Draw the attempt sequence for one remote transfer; returns the number
   /// of attempts (>= 1) and accumulates the stage's drop-detection wait.
@@ -172,8 +216,13 @@ class Engine {
   Usec total_ = 0.0;
   double peak_link_bytes_ = 0.0;
   int stages_executed_ = 0;
+  int last_stage_transfers_ = 0;
   StageObserver observer_;
   TransferObserver transfer_observer_;
+  // Trace emission (tarr::trace); all fields idle when sink_ is null.
+  trace::TraceSink* sink_ = nullptr;
+  std::vector<TraceXfer> stage_xfers_;
+  std::vector<std::pair<std::string, Usec>> phase_stack_;
   // Slow-check tier: shadows the stage protocol and rejects malformed
   // schedules (see check/stage_verifier.hpp).  Null unless the build has
   // TARR_SLOW_CHECKS=ON.

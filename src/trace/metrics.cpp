@@ -1,0 +1,102 @@
+#include "trace/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/csv.hpp"
+#include "common/error.hpp"
+
+namespace tarr::trace {
+
+namespace {
+
+/// Deterministic number formatting: exact integers print without a decimal
+/// point, everything else as shortest round-trip-ish %.17g.  Formatting must
+/// be locale-independent and stable — metric CSVs are diffed across runs.
+std::string fmt(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::observe_load(const CounterSample& s) {
+  if (s.value <= 0.0) return;  // end-of-stage zero samples carry no heat
+  auto& map = s.kind == CounterSample::Kind::Link ? link_heat_ : qpi_heat_;
+  Heat& h = map[{s.id, s.dir}];
+  ++h.stages;
+  h.total += s.value;
+  if (s.value > h.peak) h.peak = s.value;
+}
+
+void MetricsRegistry::observe_transfer(const TransferEvent& e) {
+  ChannelStat& c = channels_[static_cast<int>(e.channel)];
+  ++c.transfers;
+  const double b = static_cast<double>(e.bytes);
+  c.bytes += b;
+  if (b > c.peak_bytes) c.peak_bytes = b;
+  if (e.attempts > 1)
+    counters_["fault.retransmissions"] += e.attempts - 1;
+}
+
+void MetricsRegistry::add_count(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+double MetricsRegistry::count(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::empty() const {
+  return link_heat_.empty() && qpi_heat_.empty() && channels_.empty() &&
+         counters_.empty();
+}
+
+std::string MetricsRegistry::csv() const {
+  bench::CsvWriter w;
+  w.set_header({"category", "key", "count", "total", "peak"});
+  for (const auto& [key, h] : link_heat_) {
+    w.add_row({"link",
+               "cable " + std::to_string(key.first) + " d" +
+                   std::to_string(key.second),
+               fmt(static_cast<double>(h.stages)), fmt(h.total),
+               fmt(h.peak)});
+  }
+  for (const auto& [key, h] : qpi_heat_) {
+    w.add_row({"qpi",
+               "node " + std::to_string(key.first) + " d" +
+                   std::to_string(key.second),
+               fmt(static_cast<double>(h.stages)), fmt(h.total),
+               fmt(h.peak)});
+  }
+  for (const auto& [ch, c] : channels_) {
+    w.add_row({"channel", to_string(static_cast<Channel>(ch)),
+               fmt(static_cast<double>(c.transfers)), fmt(c.bytes),
+               fmt(c.peak_bytes)});
+  }
+  for (const auto& [name, value] : counters_) {
+    w.add_row({"counter", name, "", fmt(value), ""});
+  }
+  return w.to_string();
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  // Serialize through csv() so the file and the string snapshot are
+  // guaranteed identical bytes.
+  const std::string body = csv();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("MetricsRegistry: cannot write " + path);
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (!ok) throw Error("MetricsRegistry: short write to " + path);
+}
+
+}  // namespace tarr::trace

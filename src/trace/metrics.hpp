@@ -1,0 +1,74 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+#include "trace/sink.hpp"
+
+/// \file metrics.hpp
+/// Aggregated metrics registry of tarr::trace: where the timeline answers
+/// "when", the registry answers "how much in total".  It folds the same
+/// event stream into
+///   * link heat  — per directed cable: stages touched, total bytes, peak
+///     stage load (the congestion the 5:1-blocking figures are about);
+///   * QPI heat   — the same per node and direction;
+///   * channel breakdown — transfer counts and byte totals per channel
+///     class (same-complex / same-socket / cross-socket / network / local);
+///   * named counters — decision counters (mapping placements, refinement
+///     swaps, selector picks) and fault counters (drops, corruptions,
+///     retransmissions).
+///
+/// Snapshots serialize to RFC-4180 CSV through the existing
+/// tarr::bench::CsvWriter with the fixed schema
+///   category,key,count,total,peak
+/// (see docs/OBSERVABILITY.md for row semantics per category).
+
+namespace tarr::trace {
+
+/// See file comment.
+class MetricsRegistry {
+ public:
+  /// Fold one resource-load sample (zero-valued end-of-stage samples are
+  /// ignored; they exist only for the timeline).
+  void observe_load(const CounterSample& s);
+
+  /// Fold one priced transfer.
+  void observe_transfer(const TransferEvent& e);
+
+  /// Additive named counter.
+  void add_count(const std::string& name, double delta);
+
+  /// Value of a named counter (0 when never incremented).
+  double count(const std::string& name) const;
+
+  /// True when nothing has been recorded.
+  bool empty() const;
+
+  /// Serialize to CSV (schema in the file comment); rows are emitted in
+  /// deterministic (category, key) order.
+  std::string csv() const;
+
+  /// Write csv() to a file; throws tarr::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct Heat {
+    long long stages = 0;  ///< stages that loaded the resource
+    double total = 0.0;    ///< bytes summed over all stages
+    double peak = 0.0;     ///< largest single-stage byte load
+  };
+  struct ChannelStat {
+    long long transfers = 0;
+    double bytes = 0.0;
+    double peak_bytes = 0.0;  ///< largest single transfer
+  };
+
+  std::map<std::pair<int, int>, Heat> link_heat_;  ///< (link, dir) -> heat
+  std::map<std::pair<int, int>, Heat> qpi_heat_;   ///< (node, dir) -> heat
+  std::map<int, ChannelStat> channels_;            ///< Channel -> stat
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace tarr::trace

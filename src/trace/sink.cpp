@@ -1,0 +1,35 @@
+#include "trace/sink.hpp"
+
+namespace tarr::trace {
+
+const char* to_string(Channel c) {
+  switch (c) {
+    case Channel::SameComplex:
+      return "same-complex";
+    case Channel::SameSocket:
+      return "same-socket";
+    case Channel::CrossSocket:
+      return "cross-socket";
+    case Channel::Network:
+      return "network";
+    case Channel::Local:
+      return "local";
+  }
+  return "?";
+}
+
+namespace {
+thread_local TraceSink* g_thread_sink = nullptr;
+}  // namespace
+
+TraceSink* thread_sink() { return g_thread_sink; }
+
+void set_thread_sink(TraceSink* sink) { g_thread_sink = sink; }
+
+ScopedThreadSink::ScopedThreadSink(TraceSink* sink) : prev_(g_thread_sink) {
+  g_thread_sink = sink;
+}
+
+ScopedThreadSink::~ScopedThreadSink() { g_thread_sink = prev_; }
+
+}  // namespace tarr::trace

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file sink.hpp
+/// Event vocabulary and sink interface of tarr::trace, the observability
+/// subsystem (see docs/OBSERVABILITY.md).
+///
+/// The paper's whole argument is about *where* bytes flow: Figs 3-4
+/// attribute the speedups to relieved leaf oversubscription and QPI sharing,
+/// and Fig 7 accounts for the wall-clock overhead of distance extraction and
+/// each mapping heuristic.  tarr::trace makes those flows visible: the
+/// engine, the cost model, the collectives, the mapping stack and the fault
+/// campaign all emit typed events through a TraceSink, and the concrete
+/// Tracer (trace/tracer.hpp) turns them into a Chrome trace-event timeline
+/// (Perfetto-loadable) plus a metrics registry snapshot.
+///
+/// Cost discipline: every instrumented component holds a plain
+/// `TraceSink*` that defaults to nullptr, and each emission site is exactly
+/// one pointer check.  With no sink installed the instrumented code paths
+/// are bit-identical to a build that never heard of this header — tracing
+/// never perturbs the simulated costs or the payload movement it observes.
+/// NullSink exists for callers that want a non-null sink object with the
+/// same "observe nothing" semantics.
+///
+/// Two clocks appear in the taxonomy and are never mixed on one track:
+///  * simulated microseconds (Usec) — stages, transfers, collective phases,
+///    link/QPI load counters;
+///  * wall-clock seconds — mapping/profiling spans (the Fig 7 overheads).
+
+namespace tarr::trace {
+
+/// Communication channel class of a priced transfer (mirrors the cost
+/// model's channel taxonomy; Local is a same-rank memory copy).
+enum class Channel { SameComplex, SameSocket, CrossSocket, Network, Local };
+
+const char* to_string(Channel c);
+
+/// One engine stage (a set of concurrent transfers priced together).
+struct StageEvent {
+  int stage = 0;       ///< 0-based engine stage index
+  int transfers = 0;   ///< copies the stage carried (local ones included)
+  int repeats = 1;     ///< compressed identical executions (repeat_last_stage)
+  Usec start = 0.0;    ///< simulated start time
+  Usec duration = 0.0; ///< stage cost (retry waits and local copies included)
+};
+
+/// One logical transfer of a stage (retransmission attempts folded in).
+struct TransferEvent {
+  int stage = 0;
+  Rank src_rank = 0;
+  Rank dst_rank = 0;
+  CoreId src_core = 0;
+  CoreId dst_core = 0;
+  Bytes bytes = 0;
+  Channel channel = Channel::Network;
+  double contention = 1.0;  ///< slowdown factor over the uncontended floor
+  int attempts = 1;         ///< 1 + transient-fault retransmissions
+  Usec start = 0.0;
+  Usec duration = 0.0;      ///< priced cost of this transfer
+};
+
+/// A simulated-time span grouping stages: collective phases (intra gather,
+/// leader exchange, intra bcast, pipelined superstages), orderfix shuffles.
+struct PhaseEvent {
+  std::string name;
+  Usec start = 0.0;
+  Usec duration = 0.0;
+};
+
+/// One per-stage load sample of a shared resource (emitted at stage start
+/// with the stage's byte load, and again with 0 at stage end).
+struct CounterSample {
+  enum class Kind { Link, Qpi };
+  Kind kind = Kind::Link;
+  int id = 0;   ///< LinkId, or NodeId for QPI
+  int dir = 0;  ///< direction slot (0/1), matching CostModel's convention
+  Usec ts = 0.0;
+  double value = 0.0;  ///< bytes loaded onto the resource this stage
+};
+
+/// A wall-clock profiling span: distance extraction, one mapping run, one
+/// refinement run — the Fig 7 overhead decomposition.
+struct WallSpan {
+  std::string name;       ///< e.g. "distance-extraction", "map:RDMH"
+  double seconds = 0.0;   ///< measured wall-clock duration
+};
+
+/// See file comment.  All handlers default to no-ops so sinks implement
+/// only what they consume.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void on_stage(const StageEvent&) {}
+  virtual void on_transfer(const TransferEvent&) {}
+  virtual void on_phase(const PhaseEvent&) {}
+  virtual void on_counter(const CounterSample&) {}
+  virtual void on_wall_span(const WallSpan&) {}
+
+  /// Named decision counter (additive): mapping placements and tie-breaks,
+  /// bisection calls, refinement swaps accepted/rejected, selector picks.
+  virtual void add_count(const std::string& name, double delta) {
+    (void)name;
+    (void)delta;
+  }
+};
+
+/// A sink that observes nothing (identical to having no sink installed).
+class NullSink final : public TraceSink {};
+
+/// Ambient per-thread sink for layers whose interfaces are pure functions
+/// of their inputs (the mapping heuristics, the bisection engine, the
+/// algorithm selector): they cannot carry a sink pointer without polluting
+/// their signatures, so they consult the thread sink instead.  nullptr
+/// (the default) disables emission; reading it is one thread-local load.
+TraceSink* thread_sink();
+void set_thread_sink(TraceSink* sink);
+
+/// RAII installer for the thread sink; restores the previous sink (so
+/// nested scopes compose, e.g. a traced CLI run around a traced mapping).
+class ScopedThreadSink {
+ public:
+  explicit ScopedThreadSink(TraceSink* sink);
+  ~ScopedThreadSink();
+  ScopedThreadSink(const ScopedThreadSink&) = delete;
+  ScopedThreadSink& operator=(const ScopedThreadSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+}  // namespace tarr::trace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace tarr::simmpi {
@@ -153,6 +155,99 @@ TEST(CostModel, LocalCopyCost) {
   EXPECT_EQ(cm.local_copy_cost(0), 0.0);
   EXPECT_DOUBLE_EQ(cm.local_copy_cost(6500),
                    cfg.alpha_mem + 6500 * cfg.beta_mem);
+}
+
+TEST(CostModel, DetailCaptureOffByDefaultAndCostNeutral) {
+  const Machine m = Machine::gpc(2);
+  CostModel plain(m, CostConfig{});
+  CostModel detailed(m, CostConfig{});
+  detailed.set_capture_details(true);
+  EXPECT_FALSE(plain.capture_details());
+
+  const Bytes b = 1 << 16;
+  const Usec t_plain = one_transfer(plain, 0, 8, b);
+  const Usec t_detail = one_transfer(detailed, 0, 8, b);
+  EXPECT_EQ(t_plain, t_detail);  // capture must not perturb pricing
+
+  EXPECT_TRUE(plain.last_stage_detail().transfers.empty());
+  EXPECT_TRUE(plain.last_stage_detail().link_loads.empty());
+  ASSERT_EQ(detailed.last_stage_detail().transfers.size(), 1u);
+  EXPECT_FALSE(detailed.last_stage_detail().link_loads.empty());
+}
+
+TEST(CostModel, DetailRecordsChannelsAndCosts) {
+  const Machine m = Machine::gpc(2);
+  CostModel cm(m, CostConfig{});
+  cm.set_capture_details(true);
+  const int cpn = m.cores_per_node();
+  const Bytes b = 1 << 16;
+
+  cm.begin_stage();
+  cm.add_transfer(0, 1, b);        // same socket
+  cm.add_transfer(0, cpn / 2, b);  // cross socket (second complex)
+  cm.add_transfer(0, cpn, b);      // network (second node)
+  const Usec stage = cm.finish_stage();
+
+  const auto& d = cm.last_stage_detail();
+  ASSERT_EQ(d.transfers.size(), 3u);
+  // Submission order is preserved.
+  EXPECT_EQ(d.transfers[0].dst, 1);
+  EXPECT_EQ(d.transfers[1].dst, cpn / 2);
+  EXPECT_EQ(d.transfers[2].dst, cpn);
+  EXPECT_NE(d.transfers[0].channel, trace::Channel::Network);
+  EXPECT_EQ(d.transfers[2].channel, trace::Channel::Network);
+  for (const auto& tr : d.transfers) {
+    EXPECT_EQ(tr.src, 0);
+    EXPECT_EQ(tr.bytes, b);
+    EXPECT_GT(tr.cost, 0.0);
+    EXPECT_LE(tr.cost, stage + 1e-9);  // stage = max over transfers
+    EXPECT_GE(tr.contention, 1.0 - 1e-12);
+  }
+  // The network transfer loaded at least one directed cable, with a sane
+  // relative (bytes/capacity) heat.
+  ASSERT_FALSE(d.link_loads.empty());
+  for (const auto& l : d.link_loads) {
+    EXPECT_GT(l.bytes, 0.0);
+    EXPECT_GT(l.relative, 0.0);
+    EXPECT_TRUE(l.dir == 0 || l.dir == 1);
+  }
+}
+
+TEST(CostModel, DetailContentionReflectsOversubscription) {
+  // Many flows over one uplink: the shared-cable slowdown must show up as
+  // contention > 1 on the recorded network transfers.
+  const Machine m = Machine::gpc(60);
+  CostModel cm(m, CostConfig{});
+  cm.set_capture_details(true);
+  const int cpn = m.cores_per_node();
+  const Bytes b = 1 << 20;
+
+  cm.begin_stage();
+  for (int k = 0; k < cpn; ++k)
+    cm.add_transfer(m.core_id(0, k), m.core_id(30, k), b);
+  cm.finish_stage();
+
+  const auto& d = cm.last_stage_detail();
+  ASSERT_EQ(d.transfers.size(), static_cast<std::size_t>(cpn));
+  double max_contention = 0.0;
+  for (const auto& tr : d.transfers)
+    max_contention = std::max(max_contention, tr.contention);
+  EXPECT_GT(max_contention, 1.0);
+}
+
+TEST(CostModel, DetailResetsEachStage) {
+  const Machine m = Machine::gpc(2);
+  CostModel cm(m, CostConfig{});
+  cm.set_capture_details(true);
+  one_transfer(cm, 0, 8, 4096);
+  EXPECT_EQ(cm.last_stage_detail().transfers.size(), 1u);
+  cm.begin_stage();
+  cm.add_transfer(0, 1, 64);
+  cm.add_transfer(2, 3, 64);
+  cm.finish_stage();
+  EXPECT_EQ(cm.last_stage_detail().transfers.size(), 2u);
+  // Intra-node stage: no cables touched.
+  EXPECT_TRUE(cm.last_stage_detail().link_loads.empty());
 }
 
 TEST(CostModel, ApiMisuseThrows) {

@@ -1,0 +1,391 @@
+// tarr::trace: timeline JSON well-formedness, span nesting, mode parity,
+// byte-reproducibility, and the zero-perturbation guarantee of the
+// disabled/enabled trace paths.
+
+#include "trace/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collectives/allgather.hpp"
+#include "collectives/hierarchical.hpp"
+#include "common/permutation.hpp"
+#include "core/framework.hpp"
+#include "core/topoallgather.hpp"
+#include "simmpi/engine.hpp"
+#include "simmpi/layout.hpp"
+#include "simmpi/transient.hpp"
+
+namespace tarr::trace {
+namespace {
+
+using simmpi::Communicator;
+using simmpi::CostConfig;
+using simmpi::Engine;
+using simmpi::ExecMode;
+using simmpi::make_layout;
+using topology::Machine;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax validator (objects, arrays, strings, numbers, literals)
+// so the well-formedness test needs no external parser.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_)
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+/// Allgather over a reordered communicator with the sink attached to
+/// framework and engine; returns the tracer-visible run.
+Usec traced_allgather(
+    int nodes, int p, ExecMode mode, TraceSink* sink,
+    core::ReorderFramework::Options fw_opts = {},
+    collectives::AllgatherAlgo algo = collectives::AllgatherAlgo::Ring) {
+  const Machine m = Machine::gpc(nodes);
+  const Communicator comm(m, make_layout(m, p, {}));
+  core::ReorderFramework fw(m, fw_opts);
+  fw.set_trace_sink(sink);
+  const auto rc = fw.reorder(comm, algo == collectives::AllgatherAlgo::Ring
+                                       ? mapping::Pattern::Ring
+                                       : mapping::Pattern::RecursiveDoubling);
+  Engine eng(rc.comm, CostConfig{}, mode, /*block=*/256, p);
+  eng.set_trace_sink(sink);
+  return collectives::run_allgather(eng, {algo, collectives::OrderFix::None},
+                                    rc.oldrank);
+}
+
+/// The metrics CSV minus the "wall.*" counter rows: those carry real
+/// measured seconds by design and are the one part of the registry that is
+/// not reproducible across runs.
+std::string strip_wall_rows(const std::string& csv) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t nl = csv.find('\n', pos);
+    if (nl == std::string::npos) nl = csv.size() - 1;
+    const std::string line = csv.substr(pos, nl + 1 - pos);
+    if (line.find("counter,wall.") == std::string::npos) out += line;
+    pos = nl + 1;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Trace, TimelineJsonIsSyntacticallyValid) {
+  Tracer tracer;
+  traced_allgather(2, 16, ExecMode::Timed, &tracer);
+  const std::string json = tracer.timeline_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // The three processes of the track layout are all present.
+  EXPECT_NE(json.find("\"simulation\""), std::string::npos);
+  EXPECT_NE(json.find("\"network load\""), std::string::npos);
+  EXPECT_NE(json.find("\"mapping (wall clock)\""), std::string::npos);
+  // Counter samples for at least one directed cable made it in.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("cable "), std::string::npos);
+}
+
+TEST(Trace, SpanNestingIsWellFormedPerTrack) {
+  Tracer tracer;
+  traced_allgather(2, 16, ExecMode::Timed, &tracer);
+  ASSERT_FALSE(tracer.spans().empty());
+
+  std::map<std::pair<int, int>, std::vector<const TimelineSpan*>> tracks;
+  for (const auto& s : tracer.spans())
+    tracks[{s.pid, s.tid}].push_back(&s);
+
+  const double eps = 1e-9;
+  for (const auto& [track, spans] : tracks) {
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      for (std::size_t j = i + 1; j < spans.size(); ++j) {
+        const auto& a = *spans[i];
+        const auto& b = *spans[j];
+        const double a_end = a.ts + a.dur;
+        const double b_end = b.ts + b.dur;
+        const bool disjoint =
+            b.ts >= a_end - eps || a.ts >= b_end - eps;
+        const bool a_in_b = a.ts >= b.ts - eps && a_end <= b_end + eps;
+        const bool b_in_a = b.ts >= a.ts - eps && b_end <= a_end + eps;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "partial overlap on track (" << track.first << ","
+            << track.second << "): [" << a.name << " " << a.ts << "+" << a.dur
+            << "] vs [" << b.name << " " << b.ts << "+" << b.dur << "]";
+      }
+    }
+  }
+}
+
+TEST(Trace, TimedAndDataModesProduceIdenticalTimelines) {
+  // Recursive doubling executes the same stage schedule in both modes (the
+  // ring instead compresses its identical stages with repeat_last_stage,
+  // which is Timed-only by design).
+  Tracer timed, data;
+  const auto rd = collectives::AllgatherAlgo::RecursiveDoubling;
+  traced_allgather(2, 16, ExecMode::Timed, &timed, {}, rd);
+  traced_allgather(2, 16, ExecMode::Data, &data, {}, rd);
+  EXPECT_EQ(timed.timeline_json(), data.timeline_json());
+}
+
+TEST(Trace, SameSeedRunsAreByteIdentical) {
+  core::ReorderFramework::Options opts;
+  opts.seed = 7;
+  Tracer a, b;
+  traced_allgather(2, 16, ExecMode::Timed, &a, opts);
+  traced_allgather(2, 16, ExecMode::Timed, &b, opts);
+  const std::string ja = a.timeline_json();
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, b.timeline_json());
+  // The registry is reproducible except for the wall.* counters, which carry
+  // real measured seconds by design.
+  EXPECT_EQ(strip_wall_rows(a.metrics().csv()),
+            strip_wall_rows(b.metrics().csv()));
+}
+
+TEST(Trace, SinkDoesNotPerturbSimulatedCost) {
+  // The enabled trace path must price the run bit-identically to the
+  // disabled one — including under transient-fault retries, whose RNG draw
+  // order must not shift.
+  const Machine m = Machine::gpc(2);
+  const Communicator comm(m, make_layout(m, 16, {}));
+  simmpi::TransientFaultConfig faults;
+  faults.drop_prob = 0.2;
+  faults.seed = 5;
+
+  auto run = [&](TraceSink* sink) {
+    Engine eng(comm, CostConfig{}, ExecMode::Timed, 256, 16);
+    eng.set_transient_faults(faults);
+    if (sink) eng.set_trace_sink(sink);
+    return collectives::run_allgather(
+        eng,
+        {collectives::AllgatherAlgo::RecursiveDoubling,
+         collectives::OrderFix::None},
+        identity_permutation(16));
+  };
+
+  const Usec plain = run(nullptr);
+  NullSink null_sink;
+  Tracer tracer;
+  EXPECT_EQ(plain, run(&null_sink));  // exact, not approximate
+  EXPECT_EQ(plain, run(&tracer));
+  // And the tracer saw the retransmissions the fault model priced.
+  EXPECT_GT(tracer.metrics().count("fault.retransmissions"), 0.0);
+}
+
+TEST(Trace, MetricsRegistryCapturesDecisionsAndHeat) {
+  Tracer tracer;
+  traced_allgather(2, 16, ExecMode::Timed, &tracer);
+  const auto& reg = tracer.metrics();
+  EXPECT_FALSE(reg.empty());
+  // Engine activity.
+  EXPECT_GT(reg.count("engine.stages"), 0.0);
+  EXPECT_GT(reg.count("engine.transfers"), 0.0);
+  // Mapping decision counters (the heuristic placed every rank).
+  EXPECT_GE(reg.count("mapping.placements"), 16.0);
+  const std::string csv = reg.csv();
+  EXPECT_NE(csv.find("category,key,count,total,peak"), std::string::npos);
+  EXPECT_NE(csv.find("cable "), std::string::npos);   // link heat rows
+  EXPECT_NE(csv.find("channel"), std::string::npos);  // channel breakdown
+}
+
+TEST(Trace, HierarchicalPhasesAppearOnThePhaseTrack) {
+  const Machine m = Machine::gpc(4);
+  const int p = m.total_cores();
+  const Communicator comm(m, make_layout(m, p, {}));
+  Engine eng(comm, CostConfig{}, ExecMode::Timed, 256, p);
+  Tracer tracer;
+  eng.set_trace_sink(&tracer);
+  collectives::HierAllgatherOptions opts{collectives::AllgatherAlgo::Ring,
+                                         collectives::IntraAlgo::Binomial,
+                                         collectives::OrderFix::None};
+  collectives::run_hier_allgather(eng, opts, identity_permutation(p));
+
+  std::vector<std::string> phases;
+  for (const auto& s : tracer.spans())
+    if (s.pid == 0 && s.tid == 0) phases.push_back(s.name);
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "intra-gather"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "leader-exchange"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "intra-bcast"),
+            phases.end());
+}
+
+TEST(Trace, WallSpansAreOrdinalByDefaultAndRealWhenAsked) {
+  // Default: deterministic ordinal placement (dur 1) on the wall-clock pid.
+  Tracer det;
+  traced_allgather(2, 16, ExecMode::Timed, &det);
+  bool saw_wall = false;
+  for (const auto& s : det.spans()) {
+    if (s.pid != 2) continue;
+    saw_wall = true;
+    EXPECT_EQ(s.dur, 1.0) << s.name;
+  }
+  EXPECT_TRUE(saw_wall);
+
+  // Opt-in: real (non-negative, generally positive) measured durations.
+  TracerOptions topts;
+  topts.real_wall_time = true;
+  Tracer real(topts);
+  traced_allgather(2, 16, ExecMode::Timed, &real);
+  for (const auto& s : real.spans())
+    if (s.pid == 2) EXPECT_GE(s.dur, 0.0);
+}
+
+TEST(Trace, TopoAllgatherForwardsItsSink) {
+  const Machine m = Machine::gpc(2);
+  core::ReorderFramework fw(m);
+  const Communicator comm(m, make_layout(m, 16, {}));
+  core::TopoAllgatherConfig cfg;  // heuristic mapper by default
+  core::TopoAllgather path(fw, comm, cfg);
+  Tracer tracer;
+  path.set_trace_sink(&tracer);
+  const Usec t = path.latency(16 * 1024);
+  EXPECT_GT(t, 0.0);
+  // Engine events and the first-use reorder's wall spans both arrived.
+  EXPECT_GT(tracer.metrics().count("engine.stages"), 0.0);
+  bool saw_wall = false;
+  for (const auto& s : tracer.spans()) saw_wall |= s.pid == 2;
+  EXPECT_TRUE(saw_wall);
+  // Tracing must not change the predicted latency.
+  core::TopoAllgather untraced(fw, comm, cfg);
+  EXPECT_EQ(t, untraced.latency(16 * 1024));
+}
+
+TEST(Trace, StageRepeatCompressionScalesMetrics) {
+  const Machine m = Machine::gpc(1);
+  const Communicator comm(m, make_layout(m, 4, {}));
+  auto run = [&](int repeats, Tracer& tracer) {
+    Engine eng(comm, CostConfig{}, ExecMode::Timed, 64, 4);
+    eng.set_trace_sink(&tracer);
+    eng.begin_stage();
+    eng.copy(0, 0, 1, 0, 1);
+    eng.end_stage();
+    if (repeats > 1) eng.repeat_last_stage(repeats - 1);
+    return eng.total();
+  };
+  Tracer once, thrice;
+  const Usec t1 = run(1, once);
+  const Usec t3 = run(3, thrice);
+  EXPECT_NEAR(t3, 3.0 * t1, 1e-9);
+  EXPECT_EQ(thrice.metrics().count("engine.stages"),
+            3.0 * once.metrics().count("engine.stages"));
+}
+
+}  // namespace
+}  // namespace tarr::trace
