@@ -16,14 +16,19 @@ int main() {
   using collectives::OrderFix;
   using core::MapperKind;
 
-  BenchWorld world(kPaperNodes);
+  const int nodes = bench_nodes(kPaperNodes);
+  const int procs = bench_procs(nodes);
+  BenchWorld world(nodes);
   const simmpi::LayoutSpec cyclic{simmpi::NodeOrder::Cyclic,
                                   simmpi::SocketOrder::Bunch};
+  SnapshotEmitter snapshot("abl_contention");
+  snapshot.set_meta("nodes", std::to_string(nodes));
+  snapshot.set_meta("procs", std::to_string(procs));
 
   std::printf(
       "Ablation — contention model on/off, %d processes,\n"
       "cyclic-bunch initial mapping, Hrstc+initComm vs default\n\n",
-      kPaperProcs);
+      procs);
 
   TextTable t;
   t.set_header({"msg", "impr %% (contention)", "impr %% (no contention)"});
@@ -35,13 +40,13 @@ int main() {
     core::TopoAllgatherConfig def;
     def.mapper = MapperKind::None;
     def.cost = cost;
-    auto base = world.path(kPaperProcs, cyclic, def);
+    auto base = world.path(procs, cyclic, def);
     core::TopoAllgatherConfig heu = def;
     heu.mapper = MapperKind::Heuristic;
     heu.fix = OrderFix::InitComm;
-    auto h = world.path(kPaperProcs, cyclic, heu);
+    auto h = world.path(procs, cyclic, heu);
     std::vector<double> out;
-    for (Bytes msg : osu_message_sizes(64)) {
+    for (Bytes msg : osu_message_sizes(64, bench_max_msg(256 * 1024))) {
       out.push_back(improvement_percent(base.latency(msg), h.latency(msg)));
     }
     return out;
@@ -49,11 +54,20 @@ int main() {
 
   const auto with_c = improvements(true);
   const auto without_c = improvements(false);
-  const auto sizes = osu_message_sizes(64);
+  const auto sizes = osu_message_sizes(64, bench_max_msg(256 * 1024));
+  double sum_with = 0.0, sum_without = 0.0;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
+    sum_with += with_c[i];
+    sum_without += without_c[i];
     t.add_row({TextTable::bytes(sizes[i]), TextTable::num(with_c[i], 1),
                TextTable::num(without_c[i], 1)});
   }
   std::printf("%s", t.render().c_str());
+  const auto n = static_cast<double>(sizes.size());
+  snapshot.add_metric("mean_improvement_contention", sum_with / n, "percent",
+                      /*higher_is_better=*/true);
+  snapshot.add_metric("mean_improvement_no_contention", sum_without / n,
+                      "percent", /*higher_is_better=*/true);
+  snapshot.dump();
   return 0;
 }

@@ -24,21 +24,26 @@ int main() {
   using core::MapperKind;
   using collectives::OrderFix;
 
-  BenchWorld world(kPaperNodes);
-  const auto sizes = osu_message_sizes();
+  const int nodes = bench_nodes(kPaperNodes);
+  const int procs = bench_procs(nodes);
+  BenchWorld world(nodes);
+  const auto sizes = osu_message_sizes(1, bench_max_msg(256 * 1024));
   SlowestConfigTrace slowest;
+  SnapshotEmitter snapshot("fig3_nonhier");
+  snapshot.set_meta("nodes", std::to_string(nodes));
+  snapshot.set_meta("procs", std::to_string(procs));
 
   std::printf(
       "Fig 3 — non-hierarchical topology-aware allgather, %d processes\n"
       "%% latency improvement over the MVAPICH-like default\n\n",
-      kPaperProcs);
+      procs);
 
   const char sub = 'a';
   int fig = 0;
   for (const auto& spec : simmpi::all_layouts()) {
     core::TopoAllgatherConfig def;
     def.mapper = MapperKind::None;
-    auto base = world.path(kPaperProcs, spec, def);
+    auto base = world.path(procs, spec, def);
 
     struct Series {
       const char* name;
@@ -49,7 +54,7 @@ int main() {
       core::TopoAllgatherConfig cfg;
       cfg.mapper = kind;
       cfg.fix = fix;
-      return Series{name, cfg, world.path(kPaperProcs, spec, cfg)};
+      return Series{name, cfg, world.path(procs, spec, cfg)};
     };
     Series series[] = {
         variant("Hrstc+initComm", MapperKind::Heuristic, OrderFix::InitComm),
@@ -61,28 +66,40 @@ int main() {
     TextTable t;
     t.set_header({"msg", "default(us)", series[0].name, series[1].name,
                   series[2].name, series[3].name});
+    double hrstc_impr_sum = 0.0;
+    double max_msg_default = 0.0;
     for (Bytes msg : sizes) {
       const double d = base.latency(msg);
+      max_msg_default = d;
       std::vector<std::string> row{TextTable::bytes(msg),
                                    TextTable::num(d, 1)};
       for (auto& s : series) {
         const double lat = s.path.latency(msg);
         row.push_back(TextTable::num(improvement_percent(d, lat), 1));
+        if (&s == &series[0]) hrstc_impr_sum += improvement_percent(d, lat);
         slowest.note(lat,
                      std::string(simmpi::to_string(spec)) + " " + s.name +
                          " msg=" + std::to_string(msg),
-                     [&world, spec, cfg = s.cfg, msg](trace::TraceSink* sink) {
-                       auto path = world.path(kPaperProcs, spec, cfg);
+                     [&world, spec, cfg = s.cfg, msg,
+                      procs](trace::TraceSink* sink) {
+                       auto path = world.path(procs, spec, cfg);
                        path.set_trace_sink(sink);
                        return path.latency(msg);
                      });
       }
       t.add_row(std::move(row));
     }
+    const std::string layout = simmpi::to_string(spec);
+    snapshot.add_metric(layout + ".hrstc_initcomm_mean_improvement",
+                        hrstc_impr_sum / static_cast<double>(sizes.size()),
+                        "percent", /*higher_is_better=*/true);
+    snapshot.add_metric(layout + ".default_latency_maxmsg", max_msg_default,
+                        "us", /*higher_is_better=*/false);
     std::printf("Fig 3(%c) — initial mapping: %s\n%s\n",
                 static_cast<char>(sub + fig++),
                 simmpi::to_string(spec).c_str(), t.render().c_str());
   }
   slowest.dump();
+  snapshot.dump();
   return 0;
 }

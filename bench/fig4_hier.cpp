@@ -17,13 +17,18 @@ int main() {
   using collectives::OrderFix;
   using core::MapperKind;
 
-  BenchWorld world(kPaperNodes);
-  const auto sizes = osu_message_sizes();
+  const int nodes = bench_nodes(kPaperNodes);
+  const int procs = bench_procs(nodes);
+  BenchWorld world(nodes);
+  const auto sizes = osu_message_sizes(1, bench_max_msg(256 * 1024));
+  SnapshotEmitter snapshot("fig4_hier");
+  snapshot.set_meta("nodes", std::to_string(nodes));
+  snapshot.set_meta("procs", std::to_string(procs));
 
   std::printf(
       "Fig 4 — hierarchical topology-aware allgather, %d processes\n"
       "%% latency improvement over the default hierarchical algorithm\n\n",
-      kPaperProcs);
+      procs);
 
   const simmpi::LayoutSpec layouts[] = {
       {simmpi::NodeOrder::Block, simmpi::SocketOrder::Bunch},
@@ -40,13 +45,13 @@ int main() {
       def.mapper = MapperKind::None;
       def.hierarchical = true;
       def.intra = intra;
-      auto base = world.path(kPaperProcs, spec, def);
+      auto base = world.path(procs, spec, def);
 
       auto variant = [&](MapperKind kind, OrderFix fix) {
         core::TopoAllgatherConfig cfg = def;
         cfg.mapper = kind;
         cfg.fix = fix;
-        return world.path(kPaperProcs, spec, cfg);
+        return world.path(procs, spec, cfg);
       };
       auto h_ic = variant(MapperKind::Heuristic, OrderFix::InitComm);
       auto h_es = variant(MapperKind::Heuristic, OrderFix::EndShuffle);
@@ -59,8 +64,12 @@ int main() {
                     std::string("Hrstc-") + suffix + "+endShfl",
                     std::string("Scotch-") + suffix + "+initComm",
                     std::string("Scotch-") + suffix + "+endShfl"});
+      double hrstc_impr_sum = 0.0;
+      double max_msg_default = 0.0;
       for (Bytes msg : sizes) {
         const double d = base.latency(msg);
+        max_msg_default = d;
+        hrstc_impr_sum += improvement_percent(d, h_ic.latency(msg));
         t.add_row({TextTable::bytes(msg), TextTable::num(d, 1),
                    TextTable::num(improvement_percent(d, h_ic.latency(msg)), 1),
                    TextTable::num(improvement_percent(d, h_es.latency(msg)), 1),
@@ -68,6 +77,15 @@ int main() {
                    TextTable::num(improvement_percent(d, s_es.latency(msg)),
                                   1)});
       }
+      const std::string tag =
+          simmpi::to_string(spec) + "." + (intra == IntraAlgo::Binomial
+                                               ? "nonlinear"
+                                               : "linear");
+      snapshot.add_metric(tag + ".hrstc_initcomm_mean_improvement",
+                          hrstc_impr_sum / static_cast<double>(sizes.size()),
+                          "percent", /*higher_is_better=*/true);
+      snapshot.add_metric(tag + ".default_latency_maxmsg", max_msg_default,
+                          "us", /*higher_is_better=*/false);
       std::printf("Fig 4(%c) — %s, %s intra-node phases\n%s\n",
                   static_cast<char>('a' + fig++),
                   simmpi::to_string(spec).c_str(),
@@ -75,5 +93,6 @@ int main() {
                   t.render().c_str());
     }
   }
+  snapshot.dump();
   return 0;
 }

@@ -1,0 +1,253 @@
+// tarr-report — analysis and gating front end over the tarr::report
+// subsystem.  Three subcommands:
+//
+//   tarr-report critical-path [run options] [--markdown]
+//       Run the pattern-matched collective over the reordered communicator,
+//       record its schedule, and print the critical-path report: the
+//       completion-time-determining chain with per-segment channel class
+//       (intra-socket / QPI / intra-leaf / cross-core-switch) and
+//       serialization / contention / retransmission attribution.
+//
+//   tarr-report diff [run options] [--markdown]
+//       Run the same pattern twice — initial layout (baseline) vs. the
+//       topology-aware reordering — and print the mapping-attribution diff:
+//       per-channel-class byte/time migration and the top relieved (and
+//       newly loaded) cables and QPI directions.
+//
+//   tarr-report compare BASELINE CURRENT [--rel-tolerance P]
+//       [--abs-tolerance V] [--markdown]
+//       Compare two bench snapshot sets (directories of BENCH_*.json, or
+//       single files).  Exits 1 if any gated metric of any baseline bench
+//       regressed beyond tolerance (or vanished), 0 otherwise — this is the
+//       CI perf gate (see docs/OBSERVABILITY.md).
+//
+// Run options (critical-path, diff): --nodes N, --procs P, --layout L,
+// --pattern PAT, --mapper heuristic|scotch|greedy, --seed S, --msg BYTES,
+// --top K (diff resource lists).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "collectives/allgather.hpp"
+#include "collectives/gather_bcast.hpp"
+#include "core/topoallgather.hpp"
+#include "mapping/comparators.hpp"
+#include "report/diff.hpp"
+#include "report/record.hpp"
+#include "report/render.hpp"
+#include "report/snapshot.hpp"
+#include "simmpi/layout.hpp"
+
+namespace {
+
+using namespace tarr;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: tarr-report critical-path [run options] [--markdown]\n"
+      "       tarr-report diff [run options] [--top K] [--markdown]\n"
+      "       tarr-report compare BASELINE CURRENT [--rel-tolerance P]\n"
+      "                   [--abs-tolerance V] [--markdown]\n"
+      "run options: --nodes N --procs P --layout L --pattern PAT\n"
+      "             --mapper heuristic|scotch|greedy --seed S --msg BYTES\n");
+  std::exit(2);
+}
+
+struct RunOptions {
+  int nodes = 8;
+  int procs = 64;
+  std::string layout = "cyclic-bunch";
+  std::string pattern = "ring";
+  std::string mapper = "heuristic";
+  std::uint64_t seed = 1;
+  long long msg_bytes = 16 * 1024;
+  int top_k = 8;
+  report::RenderFormat format = report::RenderFormat::Text;
+};
+
+simmpi::LayoutSpec parse_layout(const std::string& s) {
+  for (const auto& spec : simmpi::all_layouts())
+    if (to_string(spec) == s) return spec;
+  throw Error("unknown layout: " + s);
+}
+
+mapping::Pattern parse_pattern(const std::string& s) {
+  for (auto p : {mapping::Pattern::RecursiveDoubling, mapping::Pattern::Ring,
+                 mapping::Pattern::BinomialBcast,
+                 mapping::Pattern::BinomialGather, mapping::Pattern::Bruck})
+    if (s == mapping::to_string(p)) return p;
+  throw Error("unknown pattern: " + s);
+}
+
+void run_collective(simmpi::Engine& eng, mapping::Pattern pattern,
+                    const std::vector<Rank>& oldrank) {
+  using collectives::AllgatherAlgo;
+  using collectives::OrderFix;
+  switch (pattern) {
+    case mapping::Pattern::RecursiveDoubling:
+      collectives::run_allgather(
+          eng, {AllgatherAlgo::RecursiveDoubling, OrderFix::InitComm},
+          oldrank);
+      break;
+    case mapping::Pattern::Ring:
+      collectives::run_allgather(eng, {AllgatherAlgo::Ring, OrderFix::None},
+                                 oldrank);
+      break;
+    case mapping::Pattern::Bruck:
+      collectives::run_allgather(eng, {AllgatherAlgo::Bruck, OrderFix::None},
+                                 oldrank);
+      break;
+    case mapping::Pattern::BinomialBcast:
+      collectives::run_bcast(eng, collectives::TreeAlgo::Binomial);
+      break;
+    case mapping::Pattern::BinomialGather:
+      collectives::run_gather(eng, collectives::TreeAlgo::Binomial,
+                              OrderFix::InitComm, oldrank);
+      break;
+    default:
+      throw Error("tarr-report: pattern has no collective to run");
+  }
+}
+
+/// Record one run of `pattern` over `comm` (oldrank maps new rank -> old
+/// rank for order-restoring collectives; identity for the baseline).
+report::ScheduleRecord record_run(const simmpi::Communicator& comm,
+                                  mapping::Pattern pattern,
+                                  const std::vector<Rank>& oldrank,
+                                  long long msg_bytes) {
+  report::ScheduleRecorder recorder;
+  simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
+                     msg_bytes, comm.size());
+  eng.set_trace_sink(&recorder);
+  run_collective(eng, pattern, oldrank);
+  return recorder.take();
+}
+
+int parse_run_options(int argc, char** argv, int i, RunOptions& o) {
+  for (; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--nodes")) o.nodes = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--procs")) o.procs = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--layout")) o.layout = next();
+    else if (!std::strcmp(argv[i], "--pattern")) o.pattern = next();
+    else if (!std::strcmp(argv[i], "--mapper")) o.mapper = next();
+    else if (!std::strcmp(argv[i], "--seed"))
+      o.seed = std::strtoull(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--msg")) o.msg_bytes = std::atoll(next());
+    else if (!std::strcmp(argv[i], "--top")) o.top_k = std::atoi(next());
+    else if (!std::strcmp(argv[i], "--markdown"))
+      o.format = report::RenderFormat::Markdown;
+    else usage();
+  }
+  return i;
+}
+
+core::ReorderedComm reorder(core::ReorderFramework& fw,
+                            const simmpi::Communicator& comm,
+                            mapping::Pattern pattern,
+                            const std::string& mapper) {
+  if (mapper == "heuristic") return fw.reorder(comm, pattern);
+  if (mapper == "scotch")
+    return fw.reorder_with(comm, *mapping::make_scotch_like_mapper(pattern));
+  if (mapper == "greedy")
+    return fw.reorder_with(comm, *mapping::make_greedy_graph_mapper(pattern));
+  throw Error("unknown mapper: " + mapper);
+}
+
+int cmd_critical_path(int argc, char** argv) {
+  RunOptions o;
+  parse_run_options(argc, argv, 2, o);
+  const topology::Machine machine = topology::Machine::gpc(o.nodes);
+  const mapping::Pattern pattern = parse_pattern(o.pattern);
+  const simmpi::Communicator comm(
+      machine, simmpi::make_layout(machine, o.procs, parse_layout(o.layout)));
+  core::ReorderFramework::Options fopts;
+  fopts.seed = o.seed;
+  core::ReorderFramework fw(machine, fopts);
+  const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
+  const auto rec = record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes);
+  const auto path = report::analyze_critical_path(rec, machine);
+  std::printf("%s over %d ranks on %d nodes (%s mapping, %lld B blocks)\n",
+              o.pattern.c_str(), comm.size(), o.nodes, o.mapper.c_str(),
+              o.msg_bytes);
+  std::fputs(report::render_critical_path(path, o.format).c_str(), stdout);
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  RunOptions o;
+  parse_run_options(argc, argv, 2, o);
+  const topology::Machine machine = topology::Machine::gpc(o.nodes);
+  const mapping::Pattern pattern = parse_pattern(o.pattern);
+  const simmpi::Communicator comm(
+      machine, simmpi::make_layout(machine, o.procs, parse_layout(o.layout)));
+  core::ReorderFramework::Options fopts;
+  fopts.seed = o.seed;
+  core::ReorderFramework fw(machine, fopts);
+  const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
+
+  std::vector<Rank> identity(static_cast<std::size_t>(comm.size()));
+  std::iota(identity.begin(), identity.end(), 0);
+  const auto base = record_run(comm, pattern, identity, o.msg_bytes);
+  const auto cand = record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes);
+  const auto diff = report::diff_runs(base, cand, machine, o.top_k);
+  std::printf("%s over %d ranks on %d nodes: %s layout vs %s mapping "
+              "(%lld B blocks)\n",
+              o.pattern.c_str(), comm.size(), o.nodes, o.layout.c_str(),
+              o.mapper.c_str(), o.msg_bytes);
+  std::fputs(report::render_diff(diff, o.format).c_str(), stdout);
+  return 0;
+}
+
+int cmd_compare(int argc, char** argv) {
+  std::vector<std::string> paths;
+  report::CompareOptions copts;
+  report::RenderFormat format = report::RenderFormat::Text;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--rel-tolerance"))
+      copts.rel_tolerance = std::atof(next());
+    else if (!std::strcmp(argv[i], "--abs-tolerance"))
+      copts.abs_tolerance = std::atof(next());
+    else if (!std::strcmp(argv[i], "--markdown"))
+      format = report::RenderFormat::Markdown;
+    else if (argv[i][0] == '-')
+      usage();
+    else
+      paths.emplace_back(argv[i]);
+  }
+  if (paths.size() != 2) usage();
+  const auto baseline = report::load_snapshot_set(paths[0]);
+  const auto current = report::load_snapshot_set(paths[1]);
+  const auto results = report::compare_snapshot_sets(baseline, current, copts);
+  std::fputs(report::render_comparison(results, copts, format).c_str(),
+             stdout);
+  return report::any_regressed(results) ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  try {
+    if (!std::strcmp(argv[1], "critical-path"))
+      return cmd_critical_path(argc, argv);
+    if (!std::strcmp(argv[1], "diff")) return cmd_diff(argc, argv);
+    if (!std::strcmp(argv[1], "compare")) return cmd_compare(argc, argv);
+    usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tarr-report: %s\n", e.what());
+    return 1;
+  }
+}

@@ -9,14 +9,17 @@
 //            ring|binomial-bcast|binomial-gather|bruck]
 //            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
 //            [--msg BYTES] [--trace out.json] [--metrics out.csv]
-//            [--trace-wall]
+//            [--trace-wall] [--report]
 //
-// With --trace/--metrics the tool also *runs* the pattern-matched collective
-// (Timed engine, --msg bytes per block) over the reordered communicator and
-// exports the observability artifacts: a Perfetto-loadable Chrome trace-event
-// timeline and/or the metrics registry CSV (see docs/OBSERVABILITY.md).
-// Trace files are byte-identical across same-seed runs unless --trace-wall
-// opts into real wall-clock durations for the mapping spans.
+// With --trace/--metrics/--report the tool also *runs* the pattern-matched
+// collective (Timed engine, --msg bytes per block) over the reordered
+// communicator and exports the observability artifacts: a Perfetto-loadable
+// Chrome trace-event timeline, the metrics registry CSV, and/or a
+// critical-path report of the just-traced run (see docs/OBSERVABILITY.md).
+// Output paths are probed for writability *before* the reorder+simulation so
+// a typo'd path fails in milliseconds, not after the run.  Trace files are
+// byte-identical across same-seed runs unless --trace-wall opts into real
+// wall-clock durations for the mapping spans.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +32,9 @@
 #include "core/topoallgather.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/mapcost.hpp"
+#include "report/critical_path.hpp"
+#include "report/record.hpp"
+#include "report/render.hpp"
 #include "simmpi/layout.hpp"
 #include "trace/tracer.hpp"
 
@@ -41,7 +47,7 @@ using namespace tarr;
                "usage: %s [--nodes N] [--procs P] [--layout L] "
                "[--pattern PAT] [--mapper M] [--seed S] [--quiet] "
                "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
-               "[--trace-wall]\n",
+               "[--trace-wall] [--report]\n",
                argv0);
   std::exit(2);
 }
@@ -105,6 +111,7 @@ int main(int argc, char** argv) {
   long long msg_bytes = 16 * 1024;
   std::string trace_path, metrics_path;
   bool trace_wall = false;
+  bool report = false;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -133,12 +140,20 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (!std::strcmp(argv[i], "--trace-wall")) {
       trace_wall = true;
+    } else if (!std::strcmp(argv[i], "--report")) {
+      report = true;
     } else {
       usage(argv[0]);
     }
   }
 
   try {
+    // Fail fast on unwritable output paths: the reorder + simulation below
+    // can run for minutes at scale, and discovering a typo'd --trace path
+    // only afterwards throws that work away.
+    if (!trace_path.empty()) trace::Tracer::ensure_writable(trace_path);
+    if (!metrics_path.empty()) trace::Tracer::ensure_writable(metrics_path);
+
     const topology::Machine machine = topology::Machine::gpc(nodes);
     const simmpi::LayoutSpec layout = parse_layout(layout_name);
     const mapping::Pattern pattern = parse_pattern(pattern_name);
@@ -159,6 +174,10 @@ int main(int argc, char** argv) {
       tracer = std::make_unique<trace::Tracer>(topts);
       framework.set_trace_sink(tracer.get());
     }
+    // --report records the run's schedule structure alongside (or instead
+    // of) the tracer and prints a critical-path analysis afterwards.
+    report::ScheduleRecorder recorder;
+    trace::TeeSink tee(tracer.get(), report ? &recorder : nullptr);
 
     const core::ReorderedComm rc = [&] {
       if (mapper_name == "heuristic")
@@ -191,10 +210,10 @@ int main(int argc, char** argv) {
     std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
                 rc.mapping_seconds, framework.distance_extraction_seconds());
 
-    if (tracer) {
+    if (tracer || report) {
       simmpi::Engine eng(rc.comm, simmpi::CostConfig{},
                          simmpi::ExecMode::Timed, msg_bytes, rc.comm.size());
-      eng.set_trace_sink(tracer.get());
+      eng.set_trace_sink(&tee);
       run_traced_collective(eng, pattern, rc.oldrank);
       std::printf("traced  : %s over %d ranks, %lld B blocks, %.1f us "
                   "simulated\n",
@@ -207,6 +226,11 @@ int main(int argc, char** argv) {
       if (!metrics_path.empty()) {
         tracer->write_metrics(metrics_path);
         std::printf("metrics : %s\n", metrics_path.c_str());
+      }
+      if (report) {
+        const auto path =
+            report::analyze_critical_path(recorder.record(), machine);
+        std::fputs(report::render_critical_path(path).c_str(), stdout);
       }
     }
     if (!quiet) {

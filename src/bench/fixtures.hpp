@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -7,6 +9,7 @@
 #include <utility>
 
 #include "core/topoallgather.hpp"
+#include "report/snapshot.hpp"
 #include "simmpi/layout.hpp"
 #include "trace/tracer.hpp"
 
@@ -15,10 +18,15 @@
 /// machine (GPC fat-tree, 512 nodes x 8 cores = 4096 processes for the
 /// micro-benchmarks; 128 nodes = 1024 processes for the application runs)
 /// and helpers to build communicators and topology-aware allgather paths.
-/// Also the observability escape hatch for figure harnesses: a
-/// SlowestConfigTrace fed from the sweep loop re-runs the slowest measured
-/// configuration under a tarr::trace::Tracer when TARR_TRACE_OUT /
-/// TARR_TRACE_METRICS are set (see docs/OBSERVABILITY.md).
+/// Also the observability escape hatches for figure harnesses:
+///   * SlowestConfigTrace, fed from the sweep loop, re-runs the slowest
+///     measured configuration under a tarr::trace::Tracer when
+///     TARR_TRACE_OUT / TARR_TRACE_METRICS are set;
+///   * SnapshotEmitter writes a schema-versioned BENCH_<name>.json of the
+///     harness's headline metrics when TARR_BENCH_SNAPSHOT_DIR is set —
+///     the input of the `tarr-report compare` perf gate;
+///   * TARR_BENCH_SMOKE shrinks the sweep (16 nodes, small messages) so CI
+///     can regenerate snapshots in seconds (see docs/OBSERVABILITY.md).
 
 namespace tarr::bench {
 
@@ -29,6 +37,77 @@ inline constexpr int kPaperProcs = 4096;
 /// The paper's application scale (Figs 5-6 use 1024 processes).
 inline constexpr int kAppNodes = 128;
 inline constexpr int kAppProcs = 1024;
+
+/// True when TARR_BENCH_SMOKE requests the reduced CI scale.  The smoke
+/// sweep exercises the same code paths at 16 nodes so the perf gate runs in
+/// seconds; its snapshots live in their own baseline set (config "smoke")
+/// and are never compared against full-scale runs.
+inline bool smoke() { return std::getenv("TARR_BENCH_SMOKE") != nullptr; }
+
+/// Node count for a harness that wants `full` nodes at paper scale.
+inline int bench_nodes(int full) { return smoke() ? std::min(full, 16) : full; }
+
+/// Process count filling every core of `nodes` GPC nodes (8 cores/node).
+inline int bench_procs(int nodes) { return nodes * 8; }
+
+/// Cap a message-size sweep in smoke mode (16 KB keeps contention visible
+/// while the sweep stays fast).
+inline Bytes bench_max_msg(Bytes full) {
+  return smoke() ? std::min<Bytes>(full, 16 * 1024) : full;
+}
+
+/// Collects a harness's headline metrics and writes BENCH_<name>.json into
+/// $TARR_BENCH_SNAPSHOT_DIR on dump().  Inert (no allocation beyond the
+/// name, no files) when the variable is unset, so harnesses call it
+/// unconditionally.  Wall time is appended automatically as a gate=false
+/// trend metric — CI machines are too noisy to gate on it.
+class SnapshotEmitter {
+ public:
+  explicit SnapshotEmitter(std::string bench_name)
+      : start_(std::chrono::steady_clock::now()) {
+    if (const char* dir = std::getenv("TARR_BENCH_SNAPSHOT_DIR")) {
+      dir_ = dir;
+      snap_.bench = std::move(bench_name);
+      snap_.config = smoke() ? "smoke" : "full";
+    }
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Free-form scale description ("nodes" -> "16", ...).
+  void set_meta(const std::string& key, const std::string& value) {
+    if (enabled()) snap_.meta[key] = value;
+  }
+
+  /// One gated (or, with gate=false, trend-only) metric.
+  void add_metric(const std::string& name, double value,
+                  const std::string& unit, bool higher_is_better,
+                  bool gate = true) {
+    if (enabled())
+      snap_.metrics.push_back({name, value, unit, higher_is_better, gate});
+  }
+
+  /// Write BENCH_<bench>.json; returns false when disabled.
+  bool dump() {
+    if (!enabled()) return false;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    snap_.metrics.push_back({"wall_seconds", secs, "seconds",
+                             /*higher_is_better=*/false, /*gate=*/false});
+    const std::string path = dir_ + "/BENCH_" + snap_.bench + ".json";
+    snap_.write(path);
+    std::fprintf(stderr, "snapshot: %s (%zu metrics, %s scale)\n",
+                 path.c_str(), snap_.metrics.size(), snap_.config.c_str());
+    return true;
+  }
+
+ private:
+  std::string dir_;
+  report::BenchSnapshot snap_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// A machine plus its reorder framework.
 struct BenchWorld {

@@ -1,0 +1,84 @@
+#include "report/record.hpp"
+
+namespace tarr::report {
+
+std::string ScheduleRecord::phase_at(Usec t) const {
+  // Innermost = the shortest phase whose [start, start+duration] interval
+  // contains t (phases nest, so the shortest containing one is innermost).
+  const trace::PhaseEvent* best = nullptr;
+  for (const auto& p : phases) {
+    if (t < p.start || t > p.start + p.duration) continue;
+    if (best == nullptr || p.duration < best->duration) best = &p;
+  }
+  return best == nullptr ? std::string() : best->name;
+}
+
+void ScheduleRecorder::on_transfer(const trace::TransferEvent& e) {
+  pending_.push_back(RecordedTransfer{e.stage, e.src_rank, e.dst_rank,
+                                      e.src_core, e.dst_core, e.bytes,
+                                      e.channel, e.contention, e.attempts,
+                                      e.duration, e.uncontended});
+}
+
+void ScheduleRecorder::on_stage(const trace::StageEvent& e) {
+  RecordedStage s;
+  s.stage = e.stage;
+  s.repeats = e.repeats;
+  s.start = e.start;
+  s.duration = e.duration;
+  s.retry_wait = e.retry_wait;
+  if (e.repeats == 1) {
+    // A real stage: adopt the transfers that arrived since the last stage
+    // event (the engine emits a stage's transfers before the stage itself).
+    s.first_transfer = static_cast<int>(record_.transfers.size());
+    s.num_transfers = static_cast<int>(pending_.size());
+    record_.transfers.insert(record_.transfers.end(), pending_.begin(),
+                             pending_.end());
+    pending_.clear();
+    stage_entry_[e.stage] =
+        static_cast<int>(record_.stages.size());
+    last_samples_ = std::move(pending_samples_);
+    pending_samples_.clear();
+  } else {
+    // Repeat compression re-executes the stage just ended: share its
+    // transfer slice (the repeat event itself carries no transfers) and
+    // replay its resource loads once per extra execution.
+    const auto it = stage_entry_.find(e.stage);
+    if (it != stage_entry_.end()) {
+      const RecordedStage& orig = record_.stages[it->second];
+      s.first_transfer = orig.first_transfer;
+      s.num_transfers = orig.num_transfers;
+    }
+    for (const auto& sample : last_samples_) {
+      auto& map = sample.qpi ? record_.qpi_bytes : record_.link_bytes;
+      map[sample.key] += sample.value * static_cast<double>(e.repeats);
+    }
+  }
+  record_.events.push_back(
+      {ScheduleRecord::EventRef::Kind::Stage,
+       static_cast<int>(record_.stages.size())});
+  record_.stages.push_back(std::move(s));
+  record_.total += e.duration;
+}
+
+void ScheduleRecorder::on_phase(const trace::PhaseEvent& e) {
+  record_.phases.push_back(e);
+}
+
+void ScheduleRecorder::on_counter(const trace::CounterSample& s) {
+  if (s.value <= 0.0) return;  // end-of-stage zero samples carry no load
+  const bool qpi = s.kind == trace::CounterSample::Kind::Qpi;
+  auto& map = qpi ? record_.qpi_bytes : record_.link_bytes;
+  map[{s.id, s.dir}] += s.value;
+  pending_samples_.push_back(Sample{qpi, {s.id, s.dir}, s.value});
+}
+
+void ScheduleRecorder::on_time(const trace::TimeEvent& e) {
+  record_.events.push_back(
+      {ScheduleRecord::EventRef::Kind::Extra,
+       static_cast<int>(record_.extras.size())});
+  record_.extras.push_back(RecordedExtra{e.what, e.start, e.duration});
+  record_.total += e.duration;
+}
+
+}  // namespace tarr::report

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+/// \file record.hpp
+/// ScheduleRecorder: a TraceSink that keeps the *structure* of one engine
+/// run — every stage with its transfers, every out-of-stage time increment,
+/// phases and aggregate resource loads — so tarr::report can analyze it
+/// after the fact (critical path, mapping-attribution diffs).
+///
+/// Where the Tracer flattens events into a human-facing timeline, the
+/// recorder preserves the accounting identity of the engine: summing stage
+/// durations and time events in arrival order reproduces Engine::total()
+/// bit-exactly (same additions in the same order).  Everything downstream
+/// in tarr::report leans on that exactness.
+
+namespace tarr::report {
+
+/// One logical transfer of a recorded stage (local copies included).
+struct RecordedTransfer {
+  int stage = 0;
+  Rank src = 0, dst = 0;
+  CoreId src_core = 0, dst_core = 0;
+  Bytes bytes = 0;
+  trace::Channel channel = trace::Channel::Network;
+  double contention = 1.0;
+  int attempts = 1;
+  Usec duration = 0.0;     ///< priced cost within the stage
+  Usec uncontended = 0.0;  ///< cost at contention factor 1.0
+};
+
+/// One stage event — either a real stage (repeats == 1) or a
+/// repeat-compressed block (repeats > 1) referencing the transfers of the
+/// stage it repeats.
+struct RecordedStage {
+  int stage = 0;
+  int repeats = 1;
+  Usec start = 0.0;
+  Usec duration = 0.0;    ///< total across repeats
+  Usec retry_wait = 0.0;  ///< per-execution drop-detection wait
+  int first_transfer = 0; ///< index into ScheduleRecord::transfers
+  int num_transfers = 0;
+};
+
+/// Simulated time added outside any stage (local shuffles, compute).
+struct RecordedExtra {
+  std::string what;
+  Usec start = 0.0;
+  Usec duration = 0.0;
+};
+
+/// The recorded run.  `events` interleaves stages and extras in arrival
+/// order: kind == Stage indexes `stages`, kind == Extra indexes `extras`.
+struct ScheduleRecord {
+  struct EventRef {
+    enum class Kind { Stage, Extra };
+    Kind kind = Kind::Stage;
+    int index = 0;
+  };
+
+  std::vector<RecordedTransfer> transfers;
+  std::vector<RecordedStage> stages;
+  std::vector<RecordedExtra> extras;
+  std::vector<EventRef> events;
+  std::vector<trace::PhaseEvent> phases;
+
+  /// Aggregate directed resource loads over the whole run: (id, dir) ->
+  /// total bytes, from the engine's per-stage counter samples.
+  std::map<std::pair<int, int>, double> link_bytes;
+  std::map<std::pair<int, int>, double> qpi_bytes;
+
+  /// Engine::total() as reconstructed from the event stream (bit-exact,
+  /// see file comment).
+  Usec total = 0.0;
+
+  bool empty() const { return events.empty(); }
+
+  /// Innermost recorded phase containing simulated time `t`, or "" if none.
+  std::string phase_at(Usec t) const;
+};
+
+/// See file comment.  Attach to an Engine (set_trace_sink) — on its own or
+/// behind a trace::TeeSink next to a Tracer — run the collective, then take
+/// the record.  The recorder tolerates multiple runs into one record; the
+/// accounting identity then matches the sum of the runs' totals.
+class ScheduleRecorder final : public trace::TraceSink {
+ public:
+  void on_stage(const trace::StageEvent& e) override;
+  void on_transfer(const trace::TransferEvent& e) override;
+  void on_phase(const trace::PhaseEvent& e) override;
+  void on_counter(const trace::CounterSample& s) override;
+  void on_time(const trace::TimeEvent& e) override;
+
+  const ScheduleRecord& record() const { return record_; }
+  ScheduleRecord take() { return std::move(record_); }
+
+ private:
+  struct Sample {
+    bool qpi = false;
+    std::pair<int, int> key;
+    double value = 0.0;
+  };
+
+  ScheduleRecord record_;
+  /// Transfers of the stage currently being emitted (they arrive before
+  /// their StageEvent).
+  std::vector<RecordedTransfer> pending_;
+  /// Resource-load samples since the last stage event, and those of the
+  /// stage most recently closed (replayed by repeat compression).
+  std::vector<Sample> pending_samples_;
+  std::vector<Sample> last_samples_;
+  /// Engine stage index -> index into record_.stages of its repeats == 1
+  /// entry (so repeat-compressed events can share the transfer slice).
+  std::map<int, int> stage_entry_;
+};
+
+}  // namespace tarr::report

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "report/diff.hpp"
+#include "report/snapshot.hpp"
+
+/// \file render.hpp
+/// Human-facing rendering of tarr::report analyses.  Two targets:
+///   * text — column-aligned tables for terminals (TextTable);
+///   * markdown — pipe tables for CI job summaries and docs.
+/// Rendering is presentation only; every number comes from critical_path /
+/// diff / snapshot verbatim, so tests assert on those modules and the
+/// renderers stay change-friendly.
+
+namespace tarr::report {
+
+enum class RenderFormat { Text, Markdown };
+
+/// Critical-path report: per-segment chain (capped at `max_segments` rows,
+/// with an elision note), nature totals, per-channel attribution.
+std::string render_critical_path(const CriticalPath& path,
+                                 RenderFormat format = RenderFormat::Text,
+                                 int max_segments = 40);
+
+/// Mapping-attribution diff report: totals, per-channel migration,
+/// relieved / newly loaded resources.
+std::string render_diff(const MappingDiff& diff,
+                        RenderFormat format = RenderFormat::Text);
+
+/// Snapshot-set comparison report; regressions are marked.
+std::string render_comparison(const std::vector<SnapshotComparison>& results,
+                              const CompareOptions& opts,
+                              RenderFormat format = RenderFormat::Text);
+
+}  // namespace tarr::report

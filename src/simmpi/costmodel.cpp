@@ -81,7 +81,12 @@ Usec CostModel::finish_stage() {
   const auto& net = m.network();
 
   if (capture_details_) {
-    detail_ = StageDetail{};
+    // Reuse the detail vectors' capacity across stages (clear, don't
+    // reassign a fresh StageDetail): with capture on, a long run would
+    // otherwise reallocate all three vectors every single stage.
+    detail_.transfers.clear();
+    detail_.link_loads.clear();
+    detail_.qpi_loads.clear();
     detail_.transfers.reserve(pending_.size());
   }
 
@@ -91,6 +96,7 @@ Usec CostModel::finish_stage() {
     const NodeId nb = m.node_of_core(t.dst);
     const double own = static_cast<double>(t.bytes);
     Usec cost;
+    Usec uncontended = 0.0;  ///< cost at contention factor 1.0
     trace::Channel channel = trace::Channel::Network;
     double contention = 1.0;  ///< slowdown over the uncontended floor
     if (na == nb) {
@@ -110,9 +116,10 @@ Usec CostModel::finish_stage() {
         if (floor > 0.0) contention = bw_time / floor;
         channel = same_complex ? trace::Channel::SameComplex
                                : trace::Channel::SameSocket;
-        cost = (same_complex ? cfg_.alpha_shm_complex
-                             : cfg_.alpha_shm_socket) +
-               bw_time;
+        const Usec alpha =
+            same_complex ? cfg_.alpha_shm_complex : cfg_.alpha_shm_socket;
+        uncontended = alpha + floor;
+        cost = alpha + bw_time;
       } else {
         const double floor = bw_time;
         if (cfg_.model_contention) {
@@ -124,6 +131,7 @@ Usec CostModel::finish_stage() {
         }
         if (floor > 0.0) contention = bw_time / floor;
         channel = trace::Channel::CrossSocket;
+        uncontended = cfg_.alpha_shm_cross + floor;
         cost = cfg_.alpha_shm_cross + bw_time;
       }
     } else {
@@ -139,13 +147,14 @@ Usec CostModel::finish_stage() {
         }
       }
       if (own > 0.0) contention = bottleneck / own;
-      cost = cfg_.alpha_net +
-             cfg_.alpha_hop * static_cast<double>(path.size()) +
-             bottleneck * cfg_.beta_net;
+      const Usec alpha = cfg_.alpha_net +
+                         cfg_.alpha_hop * static_cast<double>(path.size());
+      uncontended = alpha + own * cfg_.beta_net;
+      cost = alpha + bottleneck * cfg_.beta_net;
     }
     if (capture_details_) {
-      detail_.transfers.push_back(
-          TransferRecord{t.src, t.dst, t.bytes, cost, channel, contention});
+      detail_.transfers.push_back(TransferRecord{
+          t.src, t.dst, t.bytes, cost, channel, contention, uncontended});
     }
     stage = std::max(stage, cost);
   }

@@ -100,6 +100,9 @@ class CostModel {
     Usec cost = 0.0;  ///< this transfer's priced cost within the stage
     trace::Channel channel = trace::Channel::Network;
     double contention = 1.0;  ///< cost inflation over the uncontended floor
+    /// Cost at contention 1.0 (latency terms + per-pair bandwidth floor);
+    /// cost - uncontended is the stall resource sharing inflicted.
+    Usec uncontended = 0.0;
   };
   struct LinkLoad {
     LinkId link = 0;

@@ -187,11 +187,12 @@ Usec Engine::end_stage() {
         // trace shows one Local span per copying rank and stage.
         sink_->on_transfer(trace::TransferEvent{
             stages_executed_, r, r, comm_->core_of(r), comm_->core_of(r),
-            bytes, trace::Channel::Local, 1.0, 1, stage_start, cost});
+            bytes, trace::Channel::Local, 1.0, 1, stage_start, cost, cost});
       }
       local_bytes_per_rank_scratch_[r] = 0.0;
     }
   }
+  const Usec retry_wait = stage_retry_wait_;
   if (stage_retry_wait_ > 0.0) {
     // The worst retry chain of the stage serializes its drop-detection
     // timeouts in front of the (already contention-priced) retransmissions.
@@ -214,16 +215,18 @@ Usec Engine::end_stage() {
   stage_open_ = false;
   last_stage_cost_ = stage;
   last_stage_transfers_ = transfers;
+  last_stage_retry_wait_ = retry_wait;
   total_ += stage;
   peak_link_bytes_ =
       std::max(peak_link_bytes_, cost_.last_stage_stats().max_link_bytes);
-  if (sink_ != nullptr) emit_stage_trace(stage_start, stage);
+  if (sink_ != nullptr) emit_stage_trace(stage_start, stage, retry_wait);
   if (observer_) observer_(stages_executed_, transfers, stage);
   ++stages_executed_;
   return stage;
 }
 
-void Engine::emit_stage_trace(Usec stage_start, Usec stage_cost) {
+void Engine::emit_stage_trace(Usec stage_start, Usec stage_cost,
+                              Usec retry_wait) {
   const CostModel::StageDetail& d = cost_.last_stage_detail();
   // Remote transfer spans, priced with the channel class and contention
   // factor the cost model attributed to each (first attempt's record; the
@@ -233,7 +236,7 @@ void Engine::emit_stage_trace(Usec stage_start, Usec stage_cost) {
     sink_->on_transfer(trace::TransferEvent{
         stages_executed_, x.src, x.dst, comm_->core_of(x.src),
         comm_->core_of(x.dst), x.bytes, rec.channel, rec.contention,
-        x.attempts, stage_start, rec.cost});
+        x.attempts, stage_start, rec.cost, rec.uncontended});
   }
   stage_xfers_.clear();
   // Per-resource load counters: the stage's byte load at stage start, back
@@ -254,7 +257,7 @@ void Engine::emit_stage_trace(Usec stage_start, Usec stage_cost) {
     sink_->on_counter(trace::CounterSample{trace::CounterSample::Kind::Qpi,
                                            ql.node, ql.dir, stage_end, 0.0});
   sink_->on_stage(trace::StageEvent{stages_executed_, last_stage_transfers_,
-                                    1, stage_start, stage_cost});
+                                    1, stage_start, stage_cost, retry_wait});
 }
 
 void Engine::repeat_last_stage(int extra) {
@@ -266,7 +269,8 @@ void Engine::repeat_last_stage(int extra) {
     // One compressed span covering all repeats of the stage just ended.
     sink_->on_stage(trace::StageEvent{
         stages_executed_ - 1, last_stage_transfers_, extra, total_,
-        last_stage_cost_ * static_cast<double>(extra)});
+        last_stage_cost_ * static_cast<double>(extra),
+        last_stage_retry_wait_});
   }
   total_ += last_stage_cost_ * static_cast<double>(extra);
 }
@@ -293,8 +297,14 @@ void Engine::local_permute_all(const std::vector<int>& dst_of_block) {
   const Usec cost =
       cost_.local_copy_cost(static_cast<Bytes>(moved) * block_bytes_);
   if (sink_ != nullptr)
-    sink_->on_phase(trace::PhaseEvent{"local-shuffle", total_, cost});
+    sink_->on_time(trace::TimeEvent{"local-shuffle", total_, cost});
   total_ += cost;
+}
+
+void Engine::add_time(Usec t, const char* what) {
+  if (sink_ != nullptr && t != 0.0)
+    sink_->on_time(trace::TimeEvent{what, total_, t});
+  total_ += t;
 }
 
 }  // namespace tarr::simmpi

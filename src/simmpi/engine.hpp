@@ -105,8 +105,11 @@ class Engine {
   void local_permute_all(const std::vector<int>& dst_of_block);
 
   /// Add raw simulated time (used by the application model for compute
-  /// phases and by callers that account one-time overheads).
-  void add_time(Usec t) { total_ += t; }
+  /// phases and by callers that account one-time overheads).  `what` labels
+  /// the increment in the trace (a TimeEvent is emitted when a sink is
+  /// installed and t != 0, so trace consumers can reconstruct the engine
+  /// total exactly).
+  void add_time(Usec t, const char* what = "compute");
 
   /// Total simulated time so far.
   Usec total() const { return total_; }
@@ -191,7 +194,7 @@ class Engine {
     int record;
   };
 
-  void emit_stage_trace(Usec stage_start, Usec stage_cost);
+  void emit_stage_trace(Usec stage_start, Usec stage_cost, Usec retry_wait);
 
   /// Draw the attempt sequence for one remote transfer; returns the number
   /// of attempts (>= 1) and accumulates the stage's drop-detection wait.
@@ -213,6 +216,7 @@ class Engine {
   TransientFaultStats fault_stats_;
   Usec stage_retry_wait_ = 0.0;
   Usec last_stage_cost_ = 0.0;
+  Usec last_stage_retry_wait_ = 0.0;
   Usec total_ = 0.0;
   double peak_link_bytes_ = 0.0;
   int stages_executed_ = 0;

@@ -18,6 +18,41 @@ const char* to_string(Channel c) {
   return "?";
 }
 
+void TeeSink::on_stage(const StageEvent& e) {
+  if (a_) a_->on_stage(e);
+  if (b_) b_->on_stage(e);
+}
+
+void TeeSink::on_transfer(const TransferEvent& e) {
+  if (a_) a_->on_transfer(e);
+  if (b_) b_->on_transfer(e);
+}
+
+void TeeSink::on_phase(const PhaseEvent& e) {
+  if (a_) a_->on_phase(e);
+  if (b_) b_->on_phase(e);
+}
+
+void TeeSink::on_counter(const CounterSample& s) {
+  if (a_) a_->on_counter(s);
+  if (b_) b_->on_counter(s);
+}
+
+void TeeSink::on_wall_span(const WallSpan& s) {
+  if (a_) a_->on_wall_span(s);
+  if (b_) b_->on_wall_span(s);
+}
+
+void TeeSink::on_time(const TimeEvent& e) {
+  if (a_) a_->on_time(e);
+  if (b_) b_->on_time(e);
+}
+
+void TeeSink::add_count(const std::string& name, double delta) {
+  if (a_) a_->add_count(name, delta);
+  if (b_) b_->add_count(name, delta);
+}
+
 namespace {
 thread_local TraceSink* g_thread_sink = nullptr;
 }  // namespace

@@ -45,6 +45,11 @@ struct StageEvent {
   int repeats = 1;     ///< compressed identical executions (repeat_last_stage)
   Usec start = 0.0;    ///< simulated start time
   Usec duration = 0.0; ///< stage cost (retry waits and local copies included)
+  /// Drop-detection timeout wait serialized in front of the stage's
+  /// (contention-priced) retransmissions; 0 without transient faults.  For
+  /// a repeat-compressed event this is the per-execution wait, not the
+  /// total across repeats.
+  Usec retry_wait = 0.0;
 };
 
 /// One logical transfer of a stage (retransmission attempts folded in).
@@ -60,6 +65,12 @@ struct TransferEvent {
   int attempts = 1;         ///< 1 + transient-fault retransmissions
   Usec start = 0.0;
   Usec duration = 0.0;      ///< priced cost of this transfer
+  /// Cost the transfer would have had alone on its channel (contention
+  /// factor 1.0): latency terms plus the per-pair bandwidth floor.
+  /// duration - uncontended is the stall the stage's resource sharing
+  /// (including retransmission reloads) inflicted — the quantity
+  /// tarr::report splits into serialization vs. contention.
+  Usec uncontended = 0.0;
 };
 
 /// A simulated-time span grouping stages: collective phases (intra gather,
@@ -88,6 +99,20 @@ struct WallSpan {
   double seconds = 0.0;   ///< measured wall-clock duration
 };
 
+/// Simulated time the engine adds *outside* any stage: §V-B local shuffles
+/// (Engine::local_permute_all) and Engine::add_time (application compute
+/// phases, one-time overheads).  Unlike PhaseEvent — a grouping span over
+/// stages that already carry their own durations — a TimeEvent is itself an
+/// increment of the simulated clock.  Summing stage durations and time
+/// events in emission order reconstructs the engine total bit-exactly,
+/// which is the invariant tarr::report's critical-path attribution builds
+/// on.
+struct TimeEvent {
+  std::string what;     ///< "local-shuffle", "compute", caller-provided
+  Usec start = 0.0;     ///< simulated clock before the increment
+  Usec duration = 0.0;  ///< time added
+};
+
 /// See file comment.  All handlers default to no-ops so sinks implement
 /// only what they consume.
 class TraceSink {
@@ -99,6 +124,7 @@ class TraceSink {
   virtual void on_phase(const PhaseEvent&) {}
   virtual void on_counter(const CounterSample&) {}
   virtual void on_wall_span(const WallSpan&) {}
+  virtual void on_time(const TimeEvent&) {}
 
   /// Named decision counter (additive): mapping placements and tie-breaks,
   /// bisection calls, refinement swaps accepted/rejected, selector picks.
@@ -110,6 +136,27 @@ class TraceSink {
 
 /// A sink that observes nothing (identical to having no sink installed).
 class NullSink final : public TraceSink {};
+
+/// Forwards every event to two downstream sinks (either may be null), so a
+/// single emission point — the engine holds exactly one sink pointer — can
+/// feed e.g. a Tracer and a report::ScheduleRecorder at once.  Events reach
+/// `first` before `second`; both must outlive the tee.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* first, TraceSink* second) : a_(first), b_(second) {}
+
+  void on_stage(const StageEvent& e) override;
+  void on_transfer(const TransferEvent& e) override;
+  void on_phase(const PhaseEvent& e) override;
+  void on_counter(const CounterSample& s) override;
+  void on_wall_span(const WallSpan& s) override;
+  void on_time(const TimeEvent& e) override;
+  void add_count(const std::string& name, double delta) override;
+
+ private:
+  TraceSink* a_;
+  TraceSink* b_;
+};
 
 /// Ambient per-thread sink for layers whose interfaces are pure functions
 /// of their inputs (the mapping heuristics, the bisection engine, the

@@ -99,7 +99,8 @@ void Tracer::on_transfer(const TransferEvent& e) {
                        ",\"dst_core\":" + std::to_string(e.dst_core) +
                        ",\"bytes\":" + std::to_string(e.bytes) +
                        ",\"channel\":\"" + to_string(e.channel) + "\"" +
-                       ",\"contention\":" + fmt(e.contention);
+                       ",\"contention\":" + fmt(e.contention) +
+                       ",\"uncontended\":" + fmt(e.uncontended);
     if (e.attempts > 1) args += ",\"attempts\":" + std::to_string(e.attempts);
     args += "}";
     const std::string name = e.channel == Channel::Local
@@ -116,6 +117,15 @@ void Tracer::on_phase(const PhaseEvent& e) {
   if (opts_.timeline)
     spans_.push_back({kPidSim, kTidPhases, e.name, e.start, e.duration, "{}"});
   if (opts_.metrics) metrics_.add_count("phase." + e.name, 1.0);
+}
+
+void Tracer::on_time(const TimeEvent& e) {
+  // Rendered like a phase span (time added outside stages occupies its own
+  // interval on the phases track); the metrics counter accumulates the
+  // simulated microseconds, not occurrences.
+  if (opts_.timeline)
+    spans_.push_back({kPidSim, kTidPhases, e.what, e.start, e.duration, "{}"});
+  if (opts_.metrics) metrics_.add_count("time." + e.what, e.duration);
 }
 
 void Tracer::on_counter(const CounterSample& s) {
@@ -223,6 +233,20 @@ void Tracer::write_timeline(const std::string& path) const {
 
 void Tracer::write_metrics(const std::string& path) const {
   metrics_.write_csv(path);
+}
+
+void Tracer::ensure_writable(const std::string& path) {
+  // Probe without clobbering: "ab" creates a missing file but never
+  // truncates an existing one.  A file the probe itself created is removed
+  // so a later failure does not leave an empty artifact behind.
+  std::FILE* existing = std::fopen(path.c_str(), "rb");
+  const bool existed = existing != nullptr;
+  if (existing != nullptr) std::fclose(existing);
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr)
+    throw Error("cannot open " + path + " for writing");
+  std::fclose(f);
+  if (!existed) std::remove(path.c_str());
 }
 
 }  // namespace tarr::trace

@@ -64,6 +64,7 @@ class Tracer final : public TraceSink {
   void on_phase(const PhaseEvent& e) override;
   void on_counter(const CounterSample& s) override;
   void on_wall_span(const WallSpan& s) override;
+  void on_time(const TimeEvent& e) override;
   void add_count(const std::string& name, double delta) override;
 
   const TracerOptions& options() const { return opts_; }
@@ -81,6 +82,13 @@ class Tracer final : public TraceSink {
 
   /// Write the metrics CSV to a file; throws tarr::Error on I/O failure.
   void write_metrics(const std::string& path) const;
+
+  /// Fail-fast writability probe for output paths: throws tarr::Error if
+  /// `path` cannot be opened for writing, *without* truncating an existing
+  /// file (a file created by the probe itself is removed again).  CLIs call
+  /// this before a long run so a typo'd --trace path fails immediately
+  /// instead of after the simulation.
+  static void ensure_writable(const std::string& path);
 
  private:
   struct CounterPoint {

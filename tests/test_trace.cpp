@@ -18,6 +18,7 @@
 #include "common/permutation.hpp"
 #include "core/framework.hpp"
 #include "core/topoallgather.hpp"
+#include "fault/shrink.hpp"
 #include "simmpi/engine.hpp"
 #include "simmpi/layout.hpp"
 #include "simmpi/transient.hpp"
@@ -324,6 +325,60 @@ TEST(Trace, HierarchicalPhasesAppearOnThePhaseTrack) {
             phases.end());
   EXPECT_NE(std::find(phases.begin(), phases.end(), "intra-bcast"),
             phases.end());
+}
+
+TEST(Trace, PipelinedHierarchicalPhasesAppearOnThePhaseTrack) {
+  // The pipelined variant overlaps the leader ring with the intra-node
+  // broadcasts, so it emits a single fused phase after the gather.
+  const Machine m = Machine::gpc(4);
+  const int p = m.total_cores();
+  const Communicator comm(m, make_layout(m, p, {}));
+  Engine eng(comm, CostConfig{}, ExecMode::Timed, 256, p);
+  Tracer tracer;
+  eng.set_trace_sink(&tracer);
+  collectives::run_hier_allgather_pipelined(eng, collectives::IntraAlgo::Binomial,
+                                            collectives::OrderFix::None,
+                                            identity_permutation(p));
+  std::vector<std::string> phases;
+  for (const auto& s : tracer.spans())
+    if (s.pid == 0 && s.tid == 0) phases.push_back(s.name);
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "intra-gather"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "pipelined-ring-bcast"),
+            phases.end());
+  // Tracing must not perturb the pipelined schedule's cost.
+  Engine plain(comm, CostConfig{}, ExecMode::Timed, 256, p);
+  collectives::run_hier_allgather_pipelined(plain,
+                                            collectives::IntraAlgo::Binomial,
+                                            collectives::OrderFix::None,
+                                            identity_permutation(p));
+  EXPECT_EQ(plain.total(), eng.total());
+}
+
+TEST(Trace, ShrunkenCommunicatorRunsTraceCleanly) {
+  // Post-fault tracing: kill a node, shrink, re-run the collective over the
+  // survivors — the trace must stay well-formed and cost-transparent.
+  const Machine base = Machine::gpc(4);
+  const Communicator parent(base, make_layout(base, base.total_cores(), {}));
+  const fault::DegradedTopology topo(base, fault::FaultMask{}.fail_node(1));
+  const fault::ShrunkComm shrunk = fault::shrink_communicator(topo, parent);
+
+  auto run = [&](TraceSink* sink) {
+    Engine eng(shrunk.comm, CostConfig{}, ExecMode::Timed, 256,
+               shrunk.comm.size());
+    if (sink != nullptr) eng.set_trace_sink(sink);
+    return collectives::run_allgather(
+        eng, {collectives::AllgatherAlgo::Ring, collectives::OrderFix::None},
+        identity_permutation(shrunk.comm.size()));
+  };
+  Tracer tracer;
+  const Usec traced = run(&tracer);
+  EXPECT_EQ(traced, run(nullptr));  // exact, as everywhere else
+  EXPECT_TRUE(JsonChecker(tracer.timeline_json()).valid());
+  // The dead node's ranks are gone: no span belongs to a rank that died.
+  const int survivors = shrunk.comm.size();
+  for (const auto& s : tracer.spans())
+    if (s.pid == 0 && s.tid >= 2) EXPECT_LT(s.tid - 2, survivors);
 }
 
 TEST(Trace, WallSpansAreOrdinalByDefaultAndRealWhenAsked) {
