@@ -7,6 +7,8 @@
 //       additionally the Hoefler-Snir-style greedy), per pattern.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/fixtures.hpp"
 #include "common/stats.hpp"
@@ -38,15 +40,27 @@ double time_mapper(const mapping::Mapper& m, const std::vector<int>& initial,
 int main() {
   using namespace tarr::bench;
 
+  // Everything this harness measures is wall-clock on the host machine, so
+  // every snapshot metric is gate=false: the trajectory is worth charting,
+  // but CI machines are far too noisy to fail a build over it.
+  const std::vector<int> node_counts =
+      smoke() ? std::vector<int>{4, 8, 16} : std::vector<int>{128, 256, 512};
+  SnapshotEmitter snapshot("fig7_overheads");
+  snapshot.set_meta("max_nodes", std::to_string(node_counts.back()));
+
   std::printf("Fig 7(a) — one-time distance extraction overhead\n");
   TextTable ta;
   ta.set_header({"processes", "nodes", "extraction(s)"});
-  for (int nodes : {128, 256, 512}) {
+  for (int nodes : node_counts) {
     const topology::Machine m = topology::Machine::gpc(nodes);
     WallTimer t;
     const auto d = topology::extract_distances(m);
+    const double secs = t.seconds();
     ta.add_row({std::to_string(nodes * 8), std::to_string(nodes),
-                TextTable::num(t.seconds(), 3)});
+                TextTable::num(secs, 3)});
+    snapshot.add_metric("extraction_s.n" + std::to_string(nodes), secs,
+                        "seconds", /*higher_is_better=*/false,
+                        /*gate=*/false);
     if (d.size() != m.total_cores()) return 1;
   }
   std::printf("%s\n", ta.render().c_str());
@@ -55,7 +69,7 @@ int main() {
   TextTable tb;
   tb.set_header({"processes", "pattern", "heuristic", "greedy-graph",
                  "scotch-like"});
-  for (int nodes : {128, 256, 512}) {
+  for (int nodes : node_counts) {
     const int p = nodes * 8;
     const topology::Machine m = topology::Machine::gpc(nodes);
     const auto dist = topology::extract_distances(m);
@@ -67,13 +81,24 @@ int main() {
       const auto heuristic = mapping::make_heuristic(pattern);
       const auto greedy = mapping::make_greedy_graph_mapper(pattern);
       const auto scotch = mapping::make_scotch_like_mapper(pattern);
+      const double h = time_mapper(*heuristic, initial, dist, 3);
+      const double g = time_mapper(*greedy, initial, dist, 3);
+      const double s = time_mapper(*scotch, initial, dist, 3);
+      const std::string key = std::string(mapping::to_string(pattern)) + ".n" +
+                              std::to_string(nodes);
+      snapshot.add_metric("heuristic_s." + key, h, "seconds",
+                          /*higher_is_better=*/false, /*gate=*/false);
+      snapshot.add_metric("greedy_s." + key, g, "seconds",
+                          /*higher_is_better=*/false, /*gate=*/false);
+      snapshot.add_metric("scotch_s." + key, s, "seconds",
+                          /*higher_is_better=*/false, /*gate=*/false);
       tb.add_row({std::to_string(p), mapping::to_string(pattern),
-                  TextTable::num(time_mapper(*heuristic, initial, dist, 3), 4),
-                  TextTable::num(time_mapper(*greedy, initial, dist, 3), 4),
-                  TextTable::num(time_mapper(*scotch, initial, dist, 3), 4)});
+                  TextTable::num(h, 4), TextTable::num(g, 4),
+                  TextTable::num(s, 4)});
     }
   }
   std::printf("%s\n", tb.render().c_str());
+  snapshot.dump();
 
   std::printf(
       "Note: the paper reports ~3.3 s extraction and ~4 ms heuristic mapping\n"

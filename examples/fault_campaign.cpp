@@ -18,18 +18,26 @@
 //   --metrics PATH        also write the campaign metrics CSV (trial
 //                         outcomes + transient drop/corrupt/retransmit
 //                         counters; schema category,key,count,total,peak)
+//   --html PATH           also write a self-contained HTML page charting
+//                         mean baseline/stale/remap latency per pattern
+//                         across the failure sweep (tarr::viz; deterministic
+//                         like every other artifact here)
 //
 // --smoke prints the metrics CSV after the summary, so CI gets the
 // machine-readable counters without an extra file.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "fault/campaign.hpp"
+#include "viz/html.hpp"
 
 namespace {
 
@@ -54,13 +62,93 @@ void write_file(const std::string& path, const std::string& body) {
   f << body;
 }
 
+/// Campaign page: one chart per (pattern, mapper) — mean baseline / stale /
+/// remap latency across the failure sweep (partitioned trials excluded,
+/// they have no times) — plus the full row table.  Assembled here from
+/// tarr::viz primitives so the viz library itself stays fault-agnostic.
+std::string campaign_html(const tarr::fault::CampaignResult& result) {
+  namespace viz = tarr::viz;
+  using tarr::fault::CampaignRow;
+
+  // (pattern, mapper) -> failures -> [sum, count] per policy.
+  struct Acc {
+    double sum[3] = {0, 0, 0};
+    int count = 0;
+  };
+  std::map<std::pair<std::string, std::string>, std::map<int, Acc>> series;
+  int skipped_partitioned = 0;
+  for (const CampaignRow& row : result.rows) {
+    if (row.partitioned) {
+      ++skipped_partitioned;
+      continue;
+    }
+    Acc& acc = series[{row.pattern, row.mapper}][row.failures];
+    acc.sum[0] += row.baseline_usec;
+    acc.sum[1] += row.stale_usec;
+    acc.sum[2] += row.remap_usec;
+    ++acc.count;
+  }
+
+  viz::Page page("fault campaign");
+  std::string intro =
+      std::string(tarr::fault::to_string(result.config.kind)) +
+      " failures over " + std::to_string(result.config.num_nodes) +
+      " nodes, " + std::to_string(result.config.trials) +
+      " trial(s) per count, seed " + std::to_string(result.config.seed);
+  if (result.partitioned_trials > 0)
+    intro += "; " + std::to_string(result.partitioned_trials) +
+             " trial(s) partitioned the fabric";
+
+  std::string body;
+  for (const auto& [key, by_failures] : series) {
+    std::vector<std::string> x;
+    viz::ChartSeries base{"baseline", {}, 0};
+    viz::ChartSeries stale{"stale mapping", {}, 1};
+    viz::ChartSeries remap{"remap", {}, 2};
+    for (const auto& [failures, acc] : by_failures) {
+      x.push_back(std::to_string(failures));
+      base.y.push_back(acc.sum[0] / acc.count);
+      stale.y.push_back(acc.sum[1] / acc.count);
+      remap.y.push_back(acc.sum[2] / acc.count);
+    }
+    viz::LineChartOptions opts;
+    opts.y_label = "mean latency (us)";
+    body += viz::line_chart(key.first + " / " + key.second +
+                                " — mean latency vs failure count",
+                            x, {base, stale, remap}, opts);
+  }
+  if (skipped_partitioned > 0)
+    body += "<p class=\"intro\">" +
+            viz::escape_text(std::to_string(skipped_partitioned) +
+                             " partitioned row(s) are excluded from the "
+                             "charts (no latencies exist).") +
+            "</p>\n";
+
+  std::vector<std::vector<std::string>> rows;
+  for (const CampaignRow& row : result.rows)
+    rows.push_back({std::to_string(row.failures), std::to_string(row.trial),
+                    row.pattern, row.mapper, std::to_string(row.ranks),
+                    row.partitioned ? "yes" : "no",
+                    row.partitioned ? "-" : viz::fmt(row.baseline_usec),
+                    row.partitioned ? "-" : viz::fmt(row.stale_usec),
+                    row.partitioned ? "-" : viz::fmt(row.remap_usec)});
+  body += viz::collapsible(
+      "All rows (" + std::to_string(rows.size()) + ")",
+      viz::data_table({"failures", "trial", "pattern", "mapper", "ranks",
+                       "partitioned", "baseline (us)", "stale (us)",
+                       "remap (us)"},
+                      rows));
+  page.add_section("Failure sweep", intro, body);
+  return page.html();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tarr;
 
   fault::CampaignConfig cfg;
-  std::string csv_path, json_path, metrics_path;
+  std::string csv_path, json_path, metrics_path, html_path;
   bool smoke = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +196,8 @@ int main(int argc, char** argv) {
       json_path = next();
     } else if (a == "--metrics") {
       metrics_path = next();
+    } else if (a == "--html") {
+      html_path = next();
     } else {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
       return 2;
@@ -124,6 +214,7 @@ int main(int argc, char** argv) {
     if (!csv_path.empty()) write_file(csv_path, result.csv());
     if (!json_path.empty()) write_file(json_path, result.json());
     if (!metrics_path.empty()) write_file(metrics_path, result.metrics_csv());
+    if (!html_path.empty()) write_file(html_path, campaign_html(result));
   } catch (const Error& e) {
     std::fprintf(stderr, "fault_campaign: %s\n", e.what());
     return 1;

@@ -14,12 +14,14 @@
 //       per-channel-class byte/time migration and the top relieved (and
 //       newly loaded) cables and QPI directions.
 //
-//   tarr-report compare BASELINE CURRENT [--rel-tolerance P]
-//       [--abs-tolerance V] [--markdown]
-//       Compare two bench snapshot sets (directories of BENCH_*.json, or
-//       single files).  Exits 1 if any gated metric of any baseline bench
-//       regressed beyond tolerance (or vanished), 0 otherwise — this is the
-//       CI perf gate (see docs/OBSERVABILITY.md).
+//   tarr-report compare [BASELINE CURRENT] [--baseline-dir GLOB]
+//       [--candidate-dir GLOB] [--rel-tolerance P] [--abs-tolerance V]
+//       [--markdown]
+//       Compare two bench snapshot sets (directories of BENCH_*.json,
+//       single files, or — via the --*-dir flags or positionally — `*`/`?`
+//       globs over the final path component).  Exits 1 if any gated metric
+//       of any baseline bench regressed beyond tolerance (or vanished),
+//       0 otherwise — this is the CI perf gate (see docs/OBSERVABILITY.md).
 //
 // Run options (critical-path, diff): --nodes N, --procs P, --layout L,
 // --pattern PAT, --mapper heuristic|scotch|greedy, --seed S, --msg BYTES,
@@ -51,8 +53,10 @@ using namespace tarr;
       stderr,
       "usage: tarr-report critical-path [run options] [--markdown]\n"
       "       tarr-report diff [run options] [--top K] [--markdown]\n"
-      "       tarr-report compare BASELINE CURRENT [--rel-tolerance P]\n"
+      "       tarr-report compare [BASELINE CURRENT] [--baseline-dir G]\n"
+      "                   [--candidate-dir G] [--rel-tolerance P]\n"
       "                   [--abs-tolerance V] [--markdown]\n"
+      "                   (G: dir, file, or glob like 'b/BENCH_fig?_*.json')\n"
       "run options: --nodes N --procs P --layout L --pattern PAT\n"
       "             --mapper heuristic|scotch|greedy --seed S --msg BYTES\n");
   std::exit(2);
@@ -209,6 +213,7 @@ int cmd_diff(int argc, char** argv) {
 
 int cmd_compare(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::string baseline_sel, candidate_sel;
   report::CompareOptions copts;
   report::RenderFormat format = report::RenderFormat::Text;
   for (int i = 2; i < argc; ++i) {
@@ -220,6 +225,10 @@ int cmd_compare(int argc, char** argv) {
       copts.rel_tolerance = std::atof(next());
     else if (!std::strcmp(argv[i], "--abs-tolerance"))
       copts.abs_tolerance = std::atof(next());
+    else if (!std::strcmp(argv[i], "--baseline-dir"))
+      baseline_sel = next();
+    else if (!std::strcmp(argv[i], "--candidate-dir"))
+      candidate_sel = next();
     else if (!std::strcmp(argv[i], "--markdown"))
       format = report::RenderFormat::Markdown;
     else if (argv[i][0] == '-')
@@ -227,9 +236,17 @@ int cmd_compare(int argc, char** argv) {
     else
       paths.emplace_back(argv[i]);
   }
-  if (paths.size() != 2) usage();
-  const auto baseline = report::load_snapshot_set(paths[0]);
-  const auto current = report::load_snapshot_set(paths[1]);
+  // Positional BASELINE CURRENT and the explicit flags are interchangeable;
+  // the flags additionally accept `*`/`?` globs in the final path component
+  // (e.g. --baseline-dir 'bench/baselines/BENCH_fig?_*.json').
+  std::size_t pos = 0;
+  if (baseline_sel.empty() && pos < paths.size()) baseline_sel = paths[pos++];
+  if (candidate_sel.empty() && pos < paths.size())
+    candidate_sel = paths[pos++];
+  if (pos != paths.size() || baseline_sel.empty() || candidate_sel.empty())
+    usage();
+  const auto baseline = report::load_snapshot_set_glob(baseline_sel);
+  const auto current = report::load_snapshot_set_glob(candidate_sel);
   const auto results = report::compare_snapshot_sets(baseline, current, copts);
   std::fputs(report::render_comparison(results, copts, format).c_str(),
              stdout);

@@ -9,17 +9,20 @@
 //            ring|binomial-bcast|binomial-gather|bruck]
 //            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
 //            [--msg BYTES] [--trace out.json] [--metrics out.csv]
-//            [--trace-wall] [--report]
+//            [--trace-wall] [--report] [--html out.html]
 //
-// With --trace/--metrics/--report the tool also *runs* the pattern-matched
-// collective (Timed engine, --msg bytes per block) over the reordered
-// communicator and exports the observability artifacts: a Perfetto-loadable
-// Chrome trace-event timeline, the metrics registry CSV, and/or a
-// critical-path report of the just-traced run (see docs/OBSERVABILITY.md).
-// Output paths are probed for writability *before* the reorder+simulation so
-// a typo'd path fails in milliseconds, not after the run.  Trace files are
-// byte-identical across same-seed runs unless --trace-wall opts into real
-// wall-clock durations for the mapping spans.
+// With --trace/--metrics/--report/--html the tool also *runs* the
+// pattern-matched collective (Timed engine, --msg bytes per block) over the
+// reordered communicator and exports the observability artifacts: a
+// Perfetto-loadable Chrome trace-event timeline, the metrics registry CSV,
+// a critical-path report of the just-traced run, and/or a self-contained
+// HTML dashboard — topology load, communication matrices, timelines and the
+// mapping-attribution diff of the baseline layout vs. the reordering (see
+// docs/OBSERVABILITY.md).  Output paths are probed for writability *before*
+// the reorder+simulation so a typo'd path fails in milliseconds, not after
+// the run.  Trace files and dashboards are byte-identical across same-seed
+// runs unless --trace-wall opts into real wall-clock durations for the
+// mapping spans (the dashboard never embeds wall-clock values).
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +40,7 @@
 #include "report/render.hpp"
 #include "simmpi/layout.hpp"
 #include "trace/tracer.hpp"
+#include "viz/dashboard.hpp"
 
 namespace {
 
@@ -47,7 +51,7 @@ using namespace tarr;
                "usage: %s [--nodes N] [--procs P] [--layout L] "
                "[--pattern PAT] [--mapper M] [--seed S] [--quiet] "
                "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
-               "[--trace-wall] [--report]\n",
+               "[--trace-wall] [--report] [--html out.html]\n",
                argv0);
   std::exit(2);
 }
@@ -109,7 +113,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool quiet = false;
   long long msg_bytes = 16 * 1024;
-  std::string trace_path, metrics_path;
+  std::string trace_path, metrics_path, html_path;
   bool trace_wall = false;
   bool report = false;
 
@@ -142,6 +146,8 @@ int main(int argc, char** argv) {
       trace_wall = true;
     } else if (!std::strcmp(argv[i], "--report")) {
       report = true;
+    } else if (!std::strcmp(argv[i], "--html")) {
+      html_path = next();
     } else {
       usage(argv[0]);
     }
@@ -153,6 +159,7 @@ int main(int argc, char** argv) {
     // only afterwards throws that work away.
     if (!trace_path.empty()) trace::Tracer::ensure_writable(trace_path);
     if (!metrics_path.empty()) trace::Tracer::ensure_writable(metrics_path);
+    if (!html_path.empty()) trace::Tracer::ensure_writable(html_path);
 
     const topology::Machine machine = topology::Machine::gpc(nodes);
     const simmpi::LayoutSpec layout = parse_layout(layout_name);
@@ -174,10 +181,12 @@ int main(int argc, char** argv) {
       tracer = std::make_unique<trace::Tracer>(topts);
       framework.set_trace_sink(tracer.get());
     }
-    // --report records the run's schedule structure alongside (or instead
-    // of) the tracer and prints a critical-path analysis afterwards.
+    // --report/--html record the run's schedule structure alongside (or
+    // instead of) the tracer: --report prints a critical-path analysis,
+    // --html renders the dashboard.
+    const bool record = report || !html_path.empty();
     report::ScheduleRecorder recorder;
-    trace::TeeSink tee(tracer.get(), report ? &recorder : nullptr);
+    trace::TeeSink tee(tracer.get(), record ? &recorder : nullptr);
 
     const core::ReorderedComm rc = [&] {
       if (mapper_name == "heuristic")
@@ -210,7 +219,7 @@ int main(int argc, char** argv) {
     std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
                 rc.mapping_seconds, framework.distance_extraction_seconds());
 
-    if (tracer || report) {
+    if (tracer || record) {
       simmpi::Engine eng(rc.comm, simmpi::CostConfig{},
                          simmpi::ExecMode::Timed, msg_bytes, rc.comm.size());
       eng.set_trace_sink(&tee);
@@ -231,6 +240,42 @@ int main(int argc, char** argv) {
         const auto path =
             report::analyze_critical_path(recorder.record(), machine);
         std::fputs(report::render_critical_path(path).c_str(), stdout);
+      }
+      if (!html_path.empty()) {
+        // Baseline run of the same pattern over the *unreordered*
+        // communicator, so the dashboard shows the before/after story.
+        report::ScheduleRecorder base_recorder;
+        simmpi::Engine base_eng(comm, simmpi::CostConfig{},
+                                simmpi::ExecMode::Timed, msg_bytes,
+                                comm.size());
+        base_eng.set_trace_sink(&base_recorder);
+        std::vector<Rank> identity(static_cast<std::size_t>(comm.size()));
+        for (Rank j = 0; j < comm.size(); ++j) identity[j] = j;
+        run_traced_collective(base_eng, pattern, identity);
+
+        viz::DashboardInputs in;
+        in.title = "tarrmap dashboard";
+        in.subtitle = pattern_name + " over " +
+                      std::to_string(rc.comm.size()) + " ranks on " +
+                      std::to_string(nodes) + " nodes, " + layout_name +
+                      " layout vs " + mapper_name + " mapping, " +
+                      std::to_string(msg_bytes) + " B blocks (seed " +
+                      std::to_string(seed) + ")";
+        in.machine = &machine;
+        const report::ScheduleRecord base_record = base_recorder.take();
+        in.baseline = &base_record;
+        in.baseline_label = layout_name;
+        const report::ScheduleRecord& cand_record = recorder.record();
+        in.candidate = &cand_record;
+        in.candidate_label = mapper_name;
+        const std::string html = viz::render_dashboard(in);
+        std::FILE* f = std::fopen(html_path.c_str(), "wb");
+        if (f == nullptr) throw Error("cannot write " + html_path);
+        const bool ok =
+            std::fwrite(html.data(), 1, html.size(), f) == html.size();
+        if (std::fclose(f) != 0 || !ok)
+          throw Error("failed writing " + html_path);
+        std::printf("html    : %s\n", html_path.c_str());
       }
     }
     if (!quiet) {

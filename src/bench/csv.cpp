@@ -16,7 +16,10 @@ void CsvWriter::add_row(std::vector<std::string> row) {
 }
 
 std::string CsvWriter::escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  // RFC 4180: a field containing a comma, quote, LF, or CR must be quoted
+  // (CR included — a bare \r would silently corrupt the row structure for
+  // readers that accept CRLF line endings).
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
   std::string out = "\"";
   for (char c : field) {
     if (c == '"') out += '"';

@@ -396,6 +396,77 @@ std::vector<BenchSnapshot> load_snapshot_set(const std::string& dir) {
   return out;
 }
 
+bool glob_match(const std::string& pattern, const std::string& name) {
+  // Iterative matcher with single-star backtracking: on mismatch after a
+  // `*`, advance the name position the star absorbs and retry.  Linear in
+  // practice for the BENCH_*.json shapes this is used on.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::vector<std::string> glob_paths(const std::string& pattern) {
+  namespace fs = std::filesystem;
+  if (pattern.find_first_of("*?") == std::string::npos) {
+    if (!fs::exists(pattern))
+      throw Error("glob: no such file or directory: " + pattern);
+    return {pattern};
+  }
+  const std::size_t slash = pattern.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : pattern.substr(0, slash + 1);
+  const std::string leaf =
+      slash == std::string::npos ? pattern : pattern.substr(slash + 1);
+  if (leaf.empty()) throw Error("glob: pattern ends in '/': " + pattern);
+  if (dir.find_first_of("*?") != std::string::npos)
+    throw Error("glob: wildcards are only supported in the final path "
+                "component: " + pattern);
+  if (!fs::is_directory(dir))
+    throw Error("glob: no such directory: " + dir);
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (glob_match(leaf, entry.path().filename().string()))
+      out.push_back(entry.path().string());
+  std::sort(out.begin(), out.end());
+  if (out.empty()) throw Error("glob: nothing matches " + pattern);
+  return out;
+}
+
+std::vector<BenchSnapshot> load_snapshot_set_glob(const std::string& pattern) {
+  if (pattern.find_first_of("*?") == std::string::npos)
+    return load_snapshot_set(pattern);
+  std::vector<BenchSnapshot> out;
+  for (const std::string& path : glob_paths(pattern)) {
+    // A matched directory contributes its whole set, a matched file just
+    // itself — so `baselines/smoke*` and `baselines/BENCH_fig?_*.json`
+    // both do the obvious thing.
+    auto part = load_snapshot_set(path);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BenchSnapshot& a, const BenchSnapshot& b) {
+              return a.bench < b.bench;
+            });
+  return out;
+}
+
 bool SnapshotComparison::regressed() const {
   if (missing) return true;
   return std::any_of(metrics.begin(), metrics.end(),

@@ -76,6 +76,25 @@ BenchSnapshot load_snapshot(const std::string& path);
 /// file), sorted by bench name.  Throws tarr::Error if nothing is found.
 std::vector<BenchSnapshot> load_snapshot_set(const std::string& dir);
 
+/// True when `name` matches `pattern`, where `*` matches any run of
+/// characters (including none) and `?` matches exactly one.  No character
+/// classes, no escaping — this is the subset CI invocations need, kept
+/// dependency-free (POSIX glob(3) is absent on some toolchains we target).
+bool glob_match(const std::string& pattern, const std::string& name);
+
+/// Expand a glob over snapshot files: the directory part of `pattern` is
+/// taken literally, only the final path component globs (no `**`
+/// recursion).  Returns matching regular files sorted by path; a pattern
+/// without wildcards returns itself when it names an existing file or
+/// directory.  Throws tarr::Error when nothing matches.
+std::vector<std::string> glob_paths(const std::string& pattern);
+
+/// Load a snapshot set selected by `pattern`: without wildcards this is
+/// exactly load_snapshot_set(pattern); with them, every matching file is
+/// parsed (a matching directory contributes its whole BENCH_*.json set),
+/// sorted by bench name.  Throws tarr::Error when nothing matches.
+std::vector<BenchSnapshot> load_snapshot_set_glob(const std::string& pattern);
+
 /// Gate tolerances.  A gated metric regresses when it is worse than the
 /// baseline by more than max(abs_tolerance, rel_tolerance% of |baseline|)
 /// in its improvement direction.

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/record.hpp"
+#include "report/snapshot.hpp"
+#include "topology/machine.hpp"
+#include "viz/trend.hpp"
+
+/// \file dashboard.hpp
+/// The combined dashboard: every tarr::viz view on one self-contained HTML
+/// page — summary cards, topology load (with the baseline-vs-candidate
+/// diff), side-by-side communication matrices, timelines, and the snapshot
+/// trajectory.  Everything is optional except the machine + one record;
+/// absent inputs simply drop their sections.
+
+namespace tarr::viz {
+
+struct DashboardInputs {
+  std::string title = "tarr dashboard";
+  std::string subtitle;  ///< one-line config description (machine, pattern)
+
+  const topology::Machine* machine = nullptr;        ///< required
+  const report::ScheduleRecord* baseline = nullptr;  ///< required
+  std::string baseline_label = "baseline";
+
+  /// Optional second run of the same pattern (a reordered mapping):
+  /// enables the topology diff, the side-by-side matrix and the second
+  /// timeline.
+  const report::ScheduleRecord* candidate = nullptr;
+  std::string candidate_label = "reordered";
+
+  /// Optional snapshot trajectory (see trend.hpp).
+  std::vector<TrendSet> trend;
+  report::CompareOptions trend_opts;
+};
+
+/// Render the full page.  Throws tarr::Error when machine/baseline are
+/// missing.
+std::string render_dashboard(const DashboardInputs& in);
+
+}  // namespace tarr::viz

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "report/critical_path.hpp"
+#include "report/record.hpp"
+#include "viz/html.hpp"
+
+/// \file timeline.hpp
+/// Timeline / critical-path view over one recorded run — the schedule read
+/// without Perfetto.  Three bands, one simulated-time axis:
+///   * phases: the collective's grouping spans (intra gather, leader
+///     exchange, ...);
+///   * the critical path: one bar per completion-time-determining segment,
+///     its duration split into stacked serialization / contention-stall /
+///     retransmission colors (the tarr::report attribution made visible);
+///   * per-rank rows: every recorded transfer as a bar on its destination
+///     rank's row, colored by channel class, critical elements outlined.
+/// The per-rank band is skipped (with a note) above `max_rank_rows` —
+/// beyond that it is an unreadable smear and a multi-megabyte SVG.
+
+namespace tarr::viz {
+
+struct TimelineOptions {
+  int width = 1100;
+  int max_rank_rows = 96;
+};
+
+/// Render the timeline HTML fragment for `record` with its extracted
+/// critical path (callers usually have `path` already; it must come from
+/// this same record).
+std::string render_timeline(const report::ScheduleRecord& record,
+                            const report::CriticalPath& path,
+                            const std::string& caption,
+                            const TimelineOptions& opts = {});
+
+}  // namespace tarr::viz

@@ -28,6 +28,14 @@ TEST(CsvWriter, EscapesSpecialCharacters) {
             "\"a,b\",\"he said \"\"hi\"\"\",\"multi\nline\",plain\n");
 }
 
+TEST(CsvWriter, QuotesCarriageReturnsPerRfc4180) {
+  // A bare \r (or a \r\n pair) inside a field must force quoting, exactly
+  // like \n — otherwise CRLF-tolerant readers split the row in two.
+  bench::CsvWriter w;
+  w.add_row({"cr\rfield", "crlf\r\nfield", "plain"});
+  EXPECT_EQ(w.to_string(), "\"cr\rfield\",\"crlf\r\nfield\",plain\n");
+}
+
 TEST(CsvWriter, WritesFile) {
   const std::string path = ::testing::TempDir() + "/tarr_test.csv";
   bench::CsvWriter w;

@@ -508,6 +508,54 @@ TEST(Snapshot, SetLoadsFromDirectoryAndGates) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Snapshot, GlobMatchHandlesStarsAndQuestionMarks) {
+  EXPECT_TRUE(glob_match("BENCH_*.json", "BENCH_fig3_nonhier.json"));
+  EXPECT_TRUE(glob_match("BENCH_fig?_*.json", "BENCH_fig3_nonhier.json"));
+  EXPECT_FALSE(glob_match("BENCH_fig?_*.json", "BENCH_abl_contention.json"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("***", "x"));
+  EXPECT_FALSE(glob_match("?", ""));
+  EXPECT_TRUE(glob_match("a*b*c", "axxbxxc"));
+  EXPECT_FALSE(glob_match("a*b*c", "axxbxx"));
+  // Backtracking: the first `*` must be able to re-absorb a premature match.
+  EXPECT_TRUE(glob_match("*bc", "abcbc"));
+  EXPECT_TRUE(glob_match("exact.json", "exact.json"));
+  EXPECT_FALSE(glob_match("exact.json", "exact.jsonx"));
+}
+
+TEST(Snapshot, GlobPathsAndSetLoading) {
+  const std::string dir = ::testing::TempDir() + "tarr_snapshot_glob";
+  std::filesystem::create_directories(dir);
+  BenchSnapshot a = sample_snapshot();  // bench fig3_nonhier
+  BenchSnapshot b = sample_snapshot();
+  b.bench = "fig4_hier";
+  BenchSnapshot c = sample_snapshot();
+  c.bench = "abl_contention";
+  a.write(dir + "/BENCH_" + a.bench + ".json");
+  b.write(dir + "/BENCH_" + b.bench + ".json");
+  c.write(dir + "/BENCH_" + c.bench + ".json");
+
+  // The fig? glob selects the two figure snapshots, not the ablation.
+  const auto figs = load_snapshot_set_glob(dir + "/BENCH_fig?_*.json");
+  ASSERT_EQ(figs.size(), 2u);
+  EXPECT_EQ(figs[0].bench, "fig3_nonhier");  // sorted by bench name
+  EXPECT_EQ(figs[1].bench, "fig4_hier");
+
+  // Without wildcards the glob loader is exactly load_snapshot_set.
+  const auto all = load_snapshot_set_glob(dir);
+  EXPECT_EQ(all.size(), 3u);
+
+  // glob_paths returns sorted paths; nothing matching is an error.
+  const auto paths = glob_paths(dir + "/BENCH_*.json");
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+  EXPECT_THROW(glob_paths(dir + "/BENCH_nomatch*"), Error);
+  EXPECT_THROW(glob_paths(dir + "/missing.json"), Error);
+  // Wildcards in a directory component are rejected, not mis-expanded.
+  EXPECT_THROW(glob_paths(dir + "/*/BENCH_*.json"), Error);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Snapshot, EmitterWritesGatedFileWhenEnvSet) {
   const std::string dir = ::testing::TempDir() + "tarr_snapshot_emit";
   std::filesystem::create_directories(dir);
