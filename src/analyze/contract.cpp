@@ -1,0 +1,39 @@
+#include "analyze/contract.hpp"
+
+namespace tarr::analyze {
+
+std::string OriginSet::to_string() const {
+  if (!known_) return "?";
+  const std::vector<int> m = members();
+  std::string out = "{";
+  const std::size_t shown = std::min<std::size_t>(m.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(m[i]);
+  }
+  if (m.size() > shown)
+    out += ",...+" + std::to_string(m.size() - shown);
+  out += "}";
+  return out;
+}
+
+void Contract::validate() const {
+  TARR_REQUIRE(!name.empty(), "Contract: unnamed");
+  TARR_REQUIRE(num_ranks >= 1, "Contract: num_ranks must be >= 1");
+  TARR_REQUIRE(buf_blocks >= 1, "Contract: buf_blocks must be >= 1");
+  TARR_REQUIRE(num_origins >= 1, "Contract: num_origins must be >= 1");
+  for (const Seed& s : seeds) {
+    TARR_REQUIRE(s.rank >= 0 && s.rank < num_ranks,
+                 "Contract: seed rank out of range");
+    TARR_REQUIRE(s.block >= 0 && s.block < buf_blocks,
+                 "Contract: seed block out of range");
+    TARR_REQUIRE(s.origin >= 0 && s.origin < num_origins,
+                 "Contract: seed origin out of range");
+  }
+  TARR_REQUIRE(expected.empty() ||
+                   expected.size() == static_cast<std::size_t>(num_ranks) *
+                                          buf_blocks,
+               "Contract: expected matrix has the wrong shape");
+}
+
+}  // namespace tarr::analyze

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+/// \file contract.hpp
+/// Collective contracts: the specification side of tarr::analyze.
+///
+/// A Contract states, independently of any schedule, what a collective must
+/// compute: which (rank, block) slots start holding which *origin*
+/// contributions, and which origin sets every slot must end up holding.  The
+/// static analyzer (analyzer.hpp) abstract-interprets a recorded schedule
+/// against this specification and proves — without executing the engine —
+/// that every rank finishes with exactly the data the contract requires.
+///
+/// The abstraction mirrors the engine's Data mode exactly.  Data mode moves
+/// 32-bit tags and reduces with XOR; the static analogue of an XOR of
+/// distinct tags is the *set* of origins it combines, with duplicate
+/// contributions cancelling (x ^ x == 0).  OriginSet below implements that
+/// algebra: copy replaces a destination set, combine takes the symmetric
+/// difference, and "never written" is a distinguished Unknown that poisons
+/// whatever touches it.  Soundness note: the set abstraction is exact for
+/// XOR over distinct seeds, so a schedule certified here computes the right
+/// value for *any* choice of tag values, not just the ones a test happened
+/// to seed.
+
+namespace tarr::analyze {
+
+/// Abstract value of one buffer block: Unknown (never seeded or written) or
+/// the set of origin indices whose XOR the block holds.
+class OriginSet {
+ public:
+  /// The bottom value: contents nobody ever defined.
+  OriginSet() = default;
+
+  static OriginSet empty_set(int universe) {
+    OriginSet s;
+    s.known_ = true;
+    s.bits_.assign((static_cast<std::size_t>(universe) + 63) / 64, 0);
+    return s;
+  }
+
+  static OriginSet single(int universe, int origin) {
+    OriginSet s = empty_set(universe);
+    s.toggle(origin);
+    return s;
+  }
+
+  bool known() const { return known_; }
+
+  bool contains(int origin) const {
+    if (!known_) return false;
+    const auto w = static_cast<std::size_t>(origin) / 64;
+    if (w >= bits_.size()) return false;
+    return (bits_[w] >> (origin % 64)) & 1u;
+  }
+
+  /// Symmetric difference with {origin} — one XOR'd-in contribution.
+  void toggle(int origin) {
+    TARR_REQUIRE(known_, "OriginSet::toggle on Unknown");
+    const auto w = static_cast<std::size_t>(origin) / 64;
+    TARR_REQUIRE(w < bits_.size(), "OriginSet::toggle: origin out of range");
+    bits_[w] ^= std::uint64_t{1} << (origin % 64);
+  }
+
+  /// Combine semantics (reduction write): symmetric difference.  Unknown on
+  /// either side poisons the result — reducing undefined data is undefined.
+  void combine_with(const OriginSet& o) {
+    if (!known_ || !o.known_) {
+      known_ = false;
+      bits_.clear();
+      return;
+    }
+    for (std::size_t w = 0; w < bits_.size(); ++w) bits_[w] ^= o.bits_[w];
+  }
+
+  bool operator==(const OriginSet& o) const {
+    return known_ == o.known_ && bits_ == o.bits_;
+  }
+  bool operator!=(const OriginSet& o) const { return !(*this == o); }
+
+  /// Sorted member list (empty for Unknown — check known() to distinguish).
+  std::vector<int> members() const {
+    std::vector<int> out;
+    for (std::size_t w = 0; w < bits_.size(); ++w)
+      for (int b = 0; b < 64; ++b)
+        if ((bits_[w] >> b) & 1u) out.push_back(static_cast<int>(w) * 64 + b);
+    return out;
+  }
+
+  /// Deterministic rendering: "?" for Unknown, "{}" / "{0,3,17}" otherwise
+  /// (capped at eight members, then "...+n").
+  std::string to_string() const;
+
+ private:
+  bool known_ = false;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// See file comment.  Build with the setters, or use the factories in
+/// collectives/contracts.hpp for every built-in collective.
+struct Contract {
+  std::string name;     ///< e.g. "allgather/rd"
+  int num_ranks = 0;    ///< communicator size the schedule ran on
+  int buf_blocks = 0;   ///< per-rank buffer size in blocks
+  int num_origins = 0;  ///< size of the origin universe
+
+  /// One initial fact: before the schedule runs, `rank`'s buffer block
+  /// `block` holds exactly origin `origin`'s contribution.  Slots without a
+  /// seed start Unknown.
+  struct Seed {
+    Rank rank = 0;
+    int block = 0;
+    int origin = 0;
+  };
+  std::vector<Seed> seeds;
+
+  /// Required final origin set per (rank, block), indexed
+  /// rank * buf_blocks + block; nullopt slots are unconstrained (scratch
+  /// space the collective may leave in any state).
+  std::vector<std::optional<OriginSet>> expected;
+
+  void seed(Rank r, int b, int origin) { seeds.push_back({r, b, origin}); }
+
+  void expect(Rank r, int b, OriginSet s) {
+    resize_expected();
+    expected[static_cast<std::size_t>(r) * buf_blocks + b] = std::move(s);
+  }
+
+  /// Require (r, b) to hold exactly {origin}.
+  void expect_single(Rank r, int b, int origin) {
+    expect(r, b, OriginSet::single(num_origins, origin));
+  }
+
+  /// Require (r, b) to hold the full universe (allreduce semantics).
+  void expect_all(Rank r, int b) {
+    OriginSet s = OriginSet::empty_set(num_origins);
+    for (int o = 0; o < num_origins; ++o) s.toggle(o);
+    expect(r, b, std::move(s));
+  }
+
+  /// Range/shape validation; throws tarr::Error on an ill-formed contract.
+  void validate() const;
+
+ private:
+  void resize_expected() {
+    expected.resize(static_cast<std::size_t>(num_ranks) * buf_blocks);
+  }
+};
+
+}  // namespace tarr::analyze

@@ -1,6 +1,6 @@
 #include "check/mapping_verifier.hpp"
 
-#include <unordered_map>
+#include <map>
 
 #include "common/error.hpp"
 
@@ -9,10 +9,11 @@ namespace tarr::check {
 namespace {
 
 /// Multiset of slots as a slot -> count map (slot universes are sparse when
-/// a communicator covers a subset of the machine's cores).
-std::unordered_map<int, int> slot_counts(const std::vector<int>& slots) {
-  std::unordered_map<int, int> counts;
-  counts.reserve(slots.size());
+/// a communicator covers a subset of the machine's cores).  An ordered map:
+/// the counts are iterated below, and which offending slot an error message
+/// names must not depend on hash-table layout.
+std::map<int, int> slot_counts(const std::vector<int>& slots) {
+  std::map<int, int> counts;
   for (const int s : slots) ++counts[s];
   return counts;
 }
@@ -26,15 +27,14 @@ void verify_mapping(const std::string& mapper, const std::vector<int>& input,
                    std::to_string(result.size()) + " assignments for " +
                    std::to_string(input.size()) + " ranks");
 
-  const std::unordered_map<int, int> universe = slot_counts(input);
+  const std::map<int, int> universe = slot_counts(input);
   for (const auto& [slot, count] : universe) {
     TARR_REQUIRE(count == 1, "mapping invariant violated [" + mapper +
                                  "]: input slot " + std::to_string(slot) +
                                  " hosts more than one rank");
   }
 
-  std::unordered_map<int, int> seen;
-  seen.reserve(result.size());
+  std::map<int, int> seen;
   for (std::size_t new_rank = 0; new_rank < result.size(); ++new_rank) {
     const int slot = result[new_rank];
     TARR_REQUIRE(universe.contains(slot),

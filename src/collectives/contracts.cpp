@@ -1,0 +1,153 @@
+#include "collectives/contracts.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/permutation.hpp"
+
+namespace tarr::collectives {
+
+using analyze::Contract;
+
+namespace {
+
+Contract base(std::string name, int p, int buf_blocks, int num_origins,
+              const std::vector<Rank>& oldrank) {
+  TARR_REQUIRE(static_cast<int>(oldrank.size()) == p,
+               "contract: oldrank size mismatch");
+  TARR_REQUIRE(is_permutation_of_iota(oldrank),
+               "contract: oldrank is not a permutation");
+  Contract c;
+  c.name = std::move(name);
+  c.num_ranks = p;
+  c.buf_blocks = buf_blocks;
+  c.num_origins = num_origins;
+  return c;
+}
+
+/// The common allgather verdict: every rank's slot b holds exactly
+/// original rank b's block.
+void expect_allgather_output(Contract& c, int p) {
+  for (Rank j = 0; j < p; ++j)
+    for (int b = 0; b < p; ++b) c.expect_single(j, b, b);
+}
+
+}  // namespace
+
+Contract contract_allgather(int p, int buf_blocks, AllgatherAlgo algo,
+                            const std::vector<Rank>& oldrank) {
+  Contract c = base(std::string("allgather/") + to_string(algo), p,
+                    buf_blocks, p, oldrank);
+  switch (algo) {
+    case AllgatherAlgo::RecursiveDoubling:
+      // seed_allgather_inputs: new rank j's own slot j.
+      for (Rank j = 0; j < p; ++j) c.seed(j, j, oldrank[j]);
+      break;
+    case AllgatherAlgo::Ring:
+      // Own block seeded straight at its original-rank slot.
+      for (Rank j = 0; j < p; ++j) c.seed(j, oldrank[j], oldrank[j]);
+      break;
+    case AllgatherAlgo::Bruck:
+      // Bruck keeps the accumulating window at slot 0.
+      for (Rank j = 0; j < p; ++j) c.seed(j, 0, oldrank[j]);
+      break;
+  }
+  expect_allgather_output(c, p);
+  return c;
+}
+
+Contract contract_hier_allgather(int p, int buf_blocks,
+                                 const std::vector<Rank>& oldrank,
+                                 bool pipelined) {
+  Contract c = base(pipelined ? "hier-allgather/pipelined" : "hier-allgather",
+                    p, buf_blocks, p, oldrank);
+  for (Rank j = 0; j < p; ++j) c.seed(j, j, oldrank[j]);  // seed_allgather_inputs
+  expect_allgather_output(c, p);
+  return c;
+}
+
+Contract contract_gather(int p, int buf_blocks, TreeAlgo algo,
+                         const std::vector<Rank>& oldrank) {
+  Contract c = base(std::string("gather/") +
+                        (algo == TreeAlgo::Linear ? "linear" : "binomial"),
+                    p, buf_blocks, p, oldrank);
+  if (algo == TreeAlgo::Linear) {
+    for (Rank j = 0; j < p; ++j) c.seed(j, oldrank[j], oldrank[j]);
+  } else {
+    for (Rank j = 0; j < p; ++j) c.seed(j, j, oldrank[j]);
+  }
+  for (int b = 0; b < p; ++b) c.expect_single(0, b, b);
+  return c;
+}
+
+Contract contract_bcast(int p, int buf_blocks, TreeAlgo algo) {
+  Contract c = base(std::string("bcast/") +
+                        (algo == TreeAlgo::Linear ? "linear" : "binomial"),
+                    p, buf_blocks, 1, identity_permutation(p));
+  c.seed(0, 0, 0);
+  for (Rank j = 0; j < p; ++j) c.expect_single(j, 0, 0);
+  return c;
+}
+
+Contract contract_bcast_scatter_allgather(int p, int buf_blocks,
+                                          AllgatherAlgo ag) {
+  Contract c = base(std::string("bcast-scatter-allgather/") + to_string(ag),
+                    p, buf_blocks, p, identity_permutation(p));
+  for (int b = 0; b < p; ++b) c.seed(0, b, b);  // root's segmented message
+  for (Rank j = 0; j < p; ++j)
+    for (int b = 0; b < p; ++b) c.expect_single(j, b, b);
+  return c;
+}
+
+Contract contract_scatter(int p, int buf_blocks, TreeAlgo algo,
+                          const std::vector<Rank>& oldrank) {
+  Contract c = base(std::string("scatter/") +
+                        (algo == TreeAlgo::Linear ? "linear" : "binomial"),
+                    p, buf_blocks, p, oldrank);
+  for (int r = 0; r < p; ++r) c.seed(0, r, r);  // root buffer, original order
+  for (Rank j = 0; j < p; ++j) c.expect_single(j, j, oldrank[j]);
+  return c;
+}
+
+Contract contract_alltoall(int p, int buf_blocks, AlltoallAlgo algo,
+                           const std::vector<Rank>& oldrank) {
+  Contract c = base(std::string("alltoall/") +
+                        (algo == AlltoallAlgo::Rotation ? "rotation"
+                                                        : "pairwise-xor"),
+                    p, buf_blocks, p * p, oldrank);
+  // Origin s*p + r: the block original rank s addresses to original rank r.
+  for (Rank j = 0; j < p; ++j)
+    for (Rank k = 0; k < p; ++k)
+      c.seed(j, k, oldrank[j] * p + oldrank[k]);
+  // Receive region in original-rank order: slot p+i carries what original
+  // rank i sent to this process.
+  for (Rank j = 0; j < p; ++j)
+    for (Rank i = 0; i < p; ++i)
+      c.expect_single(j, p + i, i * p + oldrank[j]);
+  return c;
+}
+
+Contract contract_allreduce_rd(int p, int buf_blocks) {
+  Contract c = base("allreduce/rd", p, buf_blocks, p,
+                    identity_permutation(p));
+  for (Rank r = 0; r < p; ++r) c.seed(r, 0, r);
+  for (Rank r = 0; r < p; ++r) c.expect_all(r, 0);
+  return c;
+}
+
+Contract contract_allreduce_rabenseifner(int p, int buf_blocks) {
+  Contract c = base("allreduce/rabenseifner", p, buf_blocks, p * p,
+                    identity_permutation(p));
+  for (Rank r = 0; r < p; ++r)
+    for (int b = 0; b < p; ++b) c.seed(r, b, r * p + b);
+  for (Rank r = 0; r < p; ++r) {
+    for (int b = 0; b < p; ++b) {
+      analyze::OriginSet want = analyze::OriginSet::empty_set(p * p);
+      for (Rank q = 0; q < p; ++q) want.toggle(q * p + b);
+      c.expect(r, b, std::move(want));
+    }
+  }
+  return c;
+}
+
+}  // namespace tarr::collectives

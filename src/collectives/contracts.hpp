@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "analyze/contract.hpp"
+#include "collectives/alltoall.hpp"
+#include "collectives/collective.hpp"
+#include "collectives/gather_bcast.hpp"
+
+/// \file contracts.hpp
+/// Contract factories: the static specification of every built-in
+/// collective, phrased in tarr::analyze's origin-set algebra.
+///
+/// Each factory states the seeding convention its runner (or its tests)
+/// uses and the final origin sets the collective must deliver, for a
+/// communicator of `p` ranks with `buf_blocks` blocks per rank and the
+/// §V-B mapping `oldrank` (oldrank[j] = original rank of the process
+/// acting as new rank j).  Shrunken-communicator runs need no dedicated
+/// factories: a shrunken collective is just the standard collective over
+/// the survivor communicator, so the standard contract at the survivor
+/// count (with the shrunken comm's oldrank) applies verbatim.
+///
+/// Origin universes:
+///  * allgather/gather/scatter — origin o is original rank o's block;
+///  * bcast                    — the single message, origin 0;
+///  * bcast-scatter-allgather  — origin b is segment b of the message;
+///  * alltoall                 — origin s*p + r is the block original rank
+///                               s addresses to original rank r;
+///  * allreduce                — origin r (RD) or r*p + b (Rabenseifner)
+///                               is original rank r's contribution (to
+///                               segment b).
+
+namespace tarr::collectives {
+
+/// run_allgather with `algo` over `oldrank`: every rank ends with slot b
+/// holding original rank b's block, for all b < p.
+analyze::Contract contract_allgather(int p, int buf_blocks,
+                                     AllgatherAlgo algo,
+                                     const std::vector<Rank>& oldrank);
+
+/// run_hier_allgather / run_hier_allgather_pipelined: same seeding and
+/// output as recursive-doubling allgather (seed_allgather_inputs).
+analyze::Contract contract_hier_allgather(int p, int buf_blocks,
+                                          const std::vector<Rank>& oldrank,
+                                          bool pipelined);
+
+/// run_gather with `algo`: the root (new rank 0) ends with slot b holding
+/// original rank b's block, for all b < p.
+analyze::Contract contract_gather(int p, int buf_blocks, TreeAlgo algo,
+                                  const std::vector<Rank>& oldrank);
+
+/// run_bcast: every rank ends with the root's message in slot 0.
+analyze::Contract contract_bcast(int p, int buf_blocks, TreeAlgo algo);
+
+/// run_bcast_scatter_allgather: every rank ends with message segment b in
+/// slot b, for all b < p.
+analyze::Contract contract_bcast_scatter_allgather(int p, int buf_blocks,
+                                                   AllgatherAlgo ag);
+
+/// run_scatter: new rank j ends with original rank oldrank[j]'s block in
+/// slot j.
+analyze::Contract contract_scatter(int p, int buf_blocks, TreeAlgo algo,
+                                   const std::vector<Rank>& oldrank);
+
+/// run_alltoall: new rank j ends with original rank i's block for it in
+/// receive slot p + i, for all i < p.
+analyze::Contract contract_alltoall(int p, int buf_blocks, AlltoallAlgo algo,
+                                    const std::vector<Rank>& oldrank);
+
+/// run_allreduce_rd with the test-suite seeding (rank r's contribution in
+/// its slot 0): every rank's slot 0 ends holding the XOR of all p
+/// contributions.
+analyze::Contract contract_allreduce_rd(int p, int buf_blocks);
+
+/// run_allreduce_rabenseifner with the test-suite seeding (rank r seeds
+/// every segment b): every rank ends with segment b holding the XOR of
+/// all p contributions to b, for all b < p.
+analyze::Contract contract_allreduce_rabenseifner(int p, int buf_blocks);
+
+}  // namespace tarr::collectives

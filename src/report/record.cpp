@@ -20,6 +20,16 @@ void ScheduleRecorder::on_transfer(const trace::TransferEvent& e) {
                                       e.duration, e.uncontended});
 }
 
+void ScheduleRecorder::on_copy(const trace::CopyEvent& e) {
+  pending_copies_.push_back(RecordedCopy{e.stage, e.src, e.dst, e.src_off,
+                                         e.dst_off, e.nblocks, e.bytes,
+                                         e.combining});
+}
+
+void ScheduleRecorder::on_permute(const trace::PermuteEvent& e) {
+  pending_permute_ = e.dst_of_block;
+}
+
 void ScheduleRecorder::on_stage(const trace::StageEvent& e) {
   RecordedStage s;
   s.stage = e.stage;
@@ -28,26 +38,41 @@ void ScheduleRecorder::on_stage(const trace::StageEvent& e) {
   s.duration = e.duration;
   s.retry_wait = e.retry_wait;
   if (e.repeats == 1) {
-    // A real stage: adopt the transfers that arrived since the last stage
-    // event (the engine emits a stage's transfers before the stage itself).
+    // A real stage: adopt the transfers/copies that arrived since the last
+    // stage event (the engine emits them before the stage itself), and the
+    // stage-start counter samples as the per-stage load slice.
     s.first_transfer = static_cast<int>(record_.transfers.size());
     s.num_transfers = static_cast<int>(pending_.size());
     record_.transfers.insert(record_.transfers.end(), pending_.begin(),
                              pending_.end());
     pending_.clear();
+    s.first_copy = static_cast<int>(record_.copies.size());
+    s.num_copies = static_cast<int>(pending_copies_.size());
+    record_.copies.insert(record_.copies.end(), pending_copies_.begin(),
+                          pending_copies_.end());
+    pending_copies_.clear();
+    s.first_load = static_cast<int>(record_.loads.size());
+    s.num_loads = static_cast<int>(pending_samples_.size());
+    for (const Sample& sample : pending_samples_)
+      record_.loads.push_back(RecordedLoad{sample.qpi, sample.key.first,
+                                           sample.key.second, sample.value});
     stage_entry_[e.stage] =
         static_cast<int>(record_.stages.size());
     last_samples_ = std::move(pending_samples_);
     pending_samples_.clear();
   } else {
     // Repeat compression re-executes the stage just ended: share its
-    // transfer slice (the repeat event itself carries no transfers) and
+    // transfer/copy/load slices (the repeat event itself carries none) and
     // replay its resource loads once per extra execution.
     const auto it = stage_entry_.find(e.stage);
     if (it != stage_entry_.end()) {
       const RecordedStage& orig = record_.stages[it->second];
       s.first_transfer = orig.first_transfer;
       s.num_transfers = orig.num_transfers;
+      s.first_copy = orig.first_copy;
+      s.num_copies = orig.num_copies;
+      s.first_load = orig.first_load;
+      s.num_loads = orig.num_loads;
     }
     for (const auto& sample : last_samples_) {
       auto& map = sample.qpi ? record_.qpi_bytes : record_.link_bytes;
@@ -77,7 +102,9 @@ void ScheduleRecorder::on_time(const trace::TimeEvent& e) {
   record_.events.push_back(
       {ScheduleRecord::EventRef::Kind::Extra,
        static_cast<int>(record_.extras.size())});
-  record_.extras.push_back(RecordedExtra{e.what, e.start, e.duration});
+  record_.extras.push_back(
+      RecordedExtra{e.what, e.start, e.duration, std::move(pending_permute_)});
+  pending_permute_.clear();
   record_.total += e.duration;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +35,29 @@ struct RecordedTransfer {
   Usec uncontended = 0.0;  ///< cost at contention factor 1.0
 };
 
+/// One block-granular copy of a recorded stage, exactly as submitted to
+/// Engine::copy/combine (the trace::CopyEvent view).  This is the
+/// dataflow-faithful IR tarr::analyze interprets: unlike RecordedTransfer,
+/// local copies appear individually and block offsets are preserved.
+struct RecordedCopy {
+  int stage = 0;
+  Rank src = 0, dst = 0;
+  int src_off = 0, dst_off = 0;
+  int nblocks = 0;
+  Bytes bytes = 0;
+  bool combining = false;
+};
+
+/// One directed resource load of a recorded stage (the stage-start counter
+/// samples, in emission order: cable links first, then QPI, each in the
+/// cost model's first-touch order).
+struct RecordedLoad {
+  bool qpi = false;  ///< false: cable link (id = LinkId); true: QPI (NodeId)
+  int id = 0;
+  int dir = 0;
+  double bytes = 0.0;
+};
+
 /// One stage event — either a real stage (repeats == 1) or a
 /// repeat-compressed block (repeats > 1) referencing the transfers of the
 /// stage it repeats.
@@ -45,6 +69,10 @@ struct RecordedStage {
   Usec retry_wait = 0.0;  ///< per-execution drop-detection wait
   int first_transfer = 0; ///< index into ScheduleRecord::transfers
   int num_transfers = 0;
+  int first_copy = 0;     ///< index into ScheduleRecord::copies
+  int num_copies = 0;
+  int first_load = 0;     ///< index into ScheduleRecord::loads
+  int num_loads = 0;
 };
 
 /// Simulated time added outside any stage (local shuffles, compute).
@@ -52,6 +80,9 @@ struct RecordedExtra {
   std::string what;
   Usec start = 0.0;
   Usec duration = 0.0;
+  /// For a "local-shuffle" extra: the §V-B block permutation every rank
+  /// applied (block b moved to slot dst_of_block[b]).  Empty otherwise.
+  std::vector<int> dst_of_block;
 };
 
 /// The recorded run.  `events` interleaves stages and extras in arrival
@@ -64,6 +95,8 @@ struct ScheduleRecord {
   };
 
   std::vector<RecordedTransfer> transfers;
+  std::vector<RecordedCopy> copies;
+  std::vector<RecordedLoad> loads;
   std::vector<RecordedStage> stages;
   std::vector<RecordedExtra> extras;
   std::vector<EventRef> events;
@@ -80,6 +113,21 @@ struct ScheduleRecord {
 
   bool empty() const { return events.empty(); }
 
+  /// Slice accessors resolving a stage's index ranges (repeat-compressed
+  /// entries share the slices of the stage they repeat).
+  std::span<const RecordedTransfer> transfers_of(const RecordedStage& s) const {
+    return {transfers.data() + s.first_transfer,
+            static_cast<std::size_t>(s.num_transfers)};
+  }
+  std::span<const RecordedCopy> copies_of(const RecordedStage& s) const {
+    return {copies.data() + s.first_copy,
+            static_cast<std::size_t>(s.num_copies)};
+  }
+  std::span<const RecordedLoad> loads_of(const RecordedStage& s) const {
+    return {loads.data() + s.first_load,
+            static_cast<std::size_t>(s.num_loads)};
+  }
+
   /// Innermost recorded phase containing simulated time `t`, or "" if none.
   std::string phase_at(Usec t) const;
 };
@@ -92,6 +140,8 @@ class ScheduleRecorder final : public trace::TraceSink {
  public:
   void on_stage(const trace::StageEvent& e) override;
   void on_transfer(const trace::TransferEvent& e) override;
+  void on_copy(const trace::CopyEvent& e) override;
+  void on_permute(const trace::PermuteEvent& e) override;
   void on_phase(const trace::PhaseEvent& e) override;
   void on_counter(const trace::CounterSample& s) override;
   void on_time(const trace::TimeEvent& e) override;
@@ -107,9 +157,13 @@ class ScheduleRecorder final : public trace::TraceSink {
   };
 
   ScheduleRecord record_;
-  /// Transfers of the stage currently being emitted (they arrive before
-  /// their StageEvent).
+  /// Transfers/copies of the stage currently being emitted (they arrive
+  /// before their StageEvent).
   std::vector<RecordedTransfer> pending_;
+  std::vector<RecordedCopy> pending_copies_;
+  /// Permutation of the "local-shuffle" TimeEvent about to arrive (the
+  /// engine emits the PermuteEvent immediately before it).
+  std::vector<int> pending_permute_;
   /// Resource-load samples since the last stage event, and those of the
   /// stage most recently closed (replayed by repeat compression).
   std::vector<Sample> pending_samples_;

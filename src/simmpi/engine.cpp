@@ -139,6 +139,13 @@ void Engine::enqueue(Rank src, int src_off, Rank dst, int dst_off,
     verifier_->on_transfer(src, src_off, dst, dst_off, nblocks, combining);
 
   const Bytes bytes = static_cast<Bytes>(nblocks) * block_bytes_;
+  if (sink_ != nullptr) {
+    // Schedule-IR view of the copy, local ones included: tarr::analyze
+    // abstract-interprets these, so they carry the block offsets that the
+    // priced TransferEvents (aggregated per rank for local copies) lose.
+    sink_->on_copy(trace::CopyEvent{stages_executed_, src, dst, src_off,
+                                    dst_off, nblocks, bytes, combining});
+  }
   if (src == dst) {
     local_bytes_per_rank_scratch_[src] += static_cast<double>(bytes);
   } else {
@@ -296,8 +303,12 @@ void Engine::local_permute_all(const std::vector<int>& dst_of_block) {
   }
   const Usec cost =
       cost_.local_copy_cost(static_cast<Bytes>(moved) * block_bytes_);
-  if (sink_ != nullptr)
+  if (sink_ != nullptr) {
+    // The permutation itself precedes the TimeEvent that prices it, so a
+    // recorder can pair the two (see report::ScheduleRecorder).
+    sink_->on_permute(trace::PermuteEvent{dst_of_block, total_, cost});
     sink_->on_time(trace::TimeEvent{"local-shuffle", total_, cost});
+  }
   total_ += cost;
 }
 

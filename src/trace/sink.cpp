@@ -28,6 +28,16 @@ void TeeSink::on_transfer(const TransferEvent& e) {
   if (b_) b_->on_transfer(e);
 }
 
+void TeeSink::on_copy(const CopyEvent& e) {
+  if (a_) a_->on_copy(e);
+  if (b_) b_->on_copy(e);
+}
+
+void TeeSink::on_permute(const PermuteEvent& e) {
+  if (a_) a_->on_permute(e);
+  if (b_) b_->on_permute(e);
+}
+
 void TeeSink::on_phase(const PhaseEvent& e) {
   if (a_) a_->on_phase(e);
   if (b_) b_->on_phase(e);

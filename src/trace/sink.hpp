@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -99,6 +100,37 @@ struct WallSpan {
   double seconds = 0.0;   ///< measured wall-clock duration
 };
 
+/// One engine-level copy exactly as submitted to Engine::copy/combine —
+/// the schedule-IR view of a stage, at block granularity.  Where a
+/// TransferEvent describes *pricing* (local copies aggregated per rank,
+/// channel/contention attached), a CopyEvent describes *dataflow*: source
+/// and destination block offsets, block count, and whether the write
+/// reduces into the destination (combine) or overwrites it (copy).  Local
+/// copies are emitted individually here even though pricing folds them
+/// into one per-rank TransferEvent.  tarr::analyze's static dataflow pass
+/// is built on this event.
+struct CopyEvent {
+  int stage = 0;       ///< 0-based engine stage index
+  Rank src = 0;
+  Rank dst = 0;
+  int src_off = 0;     ///< first block read in src's buffer
+  int dst_off = 0;     ///< first block written in dst's buffer
+  int nblocks = 0;     ///< contiguous blocks moved
+  Bytes bytes = 0;     ///< nblocks * block size
+  bool combining = false;  ///< true for Engine::combine (reduction write)
+};
+
+/// One §V-B local shuffle (Engine::local_permute_all): every rank applies
+/// the same in-place block permutation, block b moving to slot
+/// dst_of_block[b].  Emitted immediately before the paired "local-shuffle"
+/// TimeEvent that prices it; identity entries are included so the vector
+/// always has one slot per buffer block.
+struct PermuteEvent {
+  std::vector<int> dst_of_block;
+  Usec start = 0.0;
+  Usec duration = 0.0;
+};
+
 /// Simulated time the engine adds *outside* any stage: §V-B local shuffles
 /// (Engine::local_permute_all) and Engine::add_time (application compute
 /// phases, one-time overheads).  Unlike PhaseEvent — a grouping span over
@@ -121,6 +153,8 @@ class TraceSink {
 
   virtual void on_stage(const StageEvent&) {}
   virtual void on_transfer(const TransferEvent&) {}
+  virtual void on_copy(const CopyEvent&) {}
+  virtual void on_permute(const PermuteEvent&) {}
   virtual void on_phase(const PhaseEvent&) {}
   virtual void on_counter(const CounterSample&) {}
   virtual void on_wall_span(const WallSpan&) {}
@@ -147,6 +181,8 @@ class TeeSink final : public TraceSink {
 
   void on_stage(const StageEvent& e) override;
   void on_transfer(const TransferEvent& e) override;
+  void on_copy(const CopyEvent& e) override;
+  void on_permute(const PermuteEvent& e) override;
   void on_phase(const PhaseEvent& e) override;
   void on_counter(const CounterSample& s) override;
   void on_wall_span(const WallSpan& s) override;
