@@ -26,6 +26,7 @@
 // --smoke prints the metrics CSV after the summary, so CI gets the
 // machine-readable counters without an extra file.
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -41,18 +42,68 @@
 
 namespace {
 
+constexpr const char* kUsage =
+    "Usage: fault_campaign [options]\n"
+    "  --smoke               deterministic small preset (CI smoke)\n"
+    "  --nodes N             machine size, N >= 1          (default 32)\n"
+    "  --trials T            Monte Carlo trials, T >= 1    (default 8)\n"
+    "  --failures a,b,c      failure counts, each >= 0     (default 0,1,2,4,8)\n"
+    "  --kind links|nodes    what fails                    (default links)\n"
+    "  --seed S              campaign seed                 (default 1)\n"
+    "  --drop P              transient drop probability in [0,1] (default 0)\n"
+    "  --csv PATH            also write the per-row CSV\n"
+    "  --json PATH           also write the JSON rows\n"
+    "  --metrics PATH        also write the campaign metrics CSV\n"
+    "  --html PATH           also write the HTML chart page\n";
+
+[[noreturn]] void die_usage(const std::string& why) {
+  std::fprintf(stderr, "fault_campaign: %s\n%s", why.c_str(), kUsage);
+  std::exit(2);
+}
+
+/// Strict integer parse: the whole token must be a number in [lo, hi].
+long parse_int(const std::string& opt, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0')
+    die_usage(opt + ": '" + s + "' is not an integer");
+  if (v < lo || v > hi)
+    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+/// Strict floating-point parse in [lo, hi].
+double parse_double(const std::string& opt, const char* s, double lo,
+                    double hi) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || std::isnan(v))
+    die_usage(opt + ": '" + s + "' is not a number");
+  if (v < lo || v > hi)
+    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + "]");
+  return v;
+}
+
 std::vector<int> parse_counts(const char* s) {
   std::vector<int> out;
   std::string tok;
   for (const char* p = s;; ++p) {
     if (*p == ',' || *p == '\0') {
-      if (!tok.empty()) out.push_back(std::atoi(tok.c_str()));
-      tok.clear();
+      if (!tok.empty()) {
+        out.push_back(static_cast<int>(
+            parse_int("--failures", tok.c_str(), 0, 1 << 20)));
+        tok.clear();
+      }
       if (*p == '\0') break;
     } else {
       tok += *p;
     }
   }
+  if (out.empty()) die_usage("--failures: empty list");
   return out;
 }
 
@@ -154,10 +205,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", a.c_str());
-        std::exit(2);
-      }
+      if (i + 1 >= argc) die_usage("missing value for " + a);
       return argv[++i];
     };
     if (a == "--smoke") {
@@ -171,9 +219,9 @@ int main(int argc, char** argv) {
       cfg.failure_counts = {0, 2, 4};
       cfg.seed = 42;
     } else if (a == "--nodes") {
-      cfg.num_nodes = std::atoi(next());
+      cfg.num_nodes = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
     } else if (a == "--trials") {
-      cfg.trials = std::atoi(next());
+      cfg.trials = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
     } else if (a == "--failures") {
       cfg.failure_counts = parse_counts(next());
     } else if (a == "--kind") {
@@ -183,13 +231,17 @@ int main(int argc, char** argv) {
       } else if (k == "nodes") {
         cfg.kind = fault::FailureKind::Nodes;
       } else {
-        std::fprintf(stderr, "--kind must be links or nodes\n");
-        return 2;
+        die_usage("--kind must be links or nodes, got '" + k + "'");
       }
     } else if (a == "--seed") {
-      cfg.seed = std::strtoull(next(), nullptr, 10);
+      char* end = nullptr;
+      errno = 0;
+      const char* s = next();
+      cfg.seed = std::strtoull(s, &end, 10);
+      if (errno != 0 || end == s || *end != '\0')
+        die_usage(std::string("--seed: '") + s + "' is not an integer");
     } else if (a == "--drop") {
-      cfg.transient.drop_prob = std::atof(next());
+      cfg.transient.drop_prob = parse_double(a, next(), 0.0, 1.0);
     } else if (a == "--csv") {
       csv_path = next();
     } else if (a == "--json") {
@@ -199,8 +251,7 @@ int main(int argc, char** argv) {
     } else if (a == "--html") {
       html_path = next();
     } else {
-      std::fprintf(stderr, "unknown option %s\n", a.c_str());
-      return 2;
+      die_usage("unknown option " + a);
     }
   }
 

@@ -1,0 +1,167 @@
+// tarr-probe: drive the fig8 probed-remapping scenario from the shell.
+//
+// Runs the epoch loop of src/probe/scenario.hpp — seeded multi-tenant
+// congestion, noisy distance probing, the adaptive re-mapping controller —
+// and prints the identity / oracle / probed comparison.  Everything is
+// deterministic in the seeds; CI runs `--smoke` (and a `--fail-probe` twin
+// that must complete via the identity fallback).
+//
+// Usage: tarr-probe [options]
+//   --smoke            deterministic small preset (16 nodes, 6 epochs)
+//   --fail-probe       force total probe failure (timeout_prob = 1): the
+//                      controller must degrade to identity, not crash
+//   --nodes N          machine size, N >= 1            (default 32)
+//   --epochs E         congestion epochs, E >= 1       (default 8)
+//   --noise X          probe noise in [0, 1)           (default 0.1)
+//   --churn X          per-epoch resample prob in [0,1] (default 0.5)
+//   --seed S           probe seed                      (default 11)
+//   --csv PATH         also write the per-epoch CSV
+//   --metrics PATH     also write the trace metrics CSV
+//   --trace PATH       also write a Perfetto-loadable trace JSON
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+#include "probe/probe.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "Usage: tarr-probe [options]\n"
+    "  --smoke            deterministic small preset (16 nodes, 6 epochs)\n"
+    "  --fail-probe       force total probe failure; exercises the fallback\n"
+    "  --nodes N          machine size, N >= 1            (default 32)\n"
+    "  --epochs E         congestion epochs, E >= 1       (default 8)\n"
+    "  --noise X          probe noise in [0, 1)           (default 0.1)\n"
+    "  --churn X          per-epoch resample prob in [0,1] (default 0.5)\n"
+    "  --seed S           probe seed                      (default 11)\n"
+    "  --csv PATH         also write the per-epoch CSV\n"
+    "  --metrics PATH     also write the trace metrics CSV\n"
+    "  --trace PATH       also write a Perfetto-loadable trace JSON\n";
+
+[[noreturn]] void die_usage(const std::string& why) {
+  std::fprintf(stderr, "tarr-probe: %s\n%s", why.c_str(), kUsage);
+  std::exit(2);
+}
+
+long parse_int(const std::string& opt, const char* s, long lo, long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0')
+    die_usage(opt + ": '" + s + "' is not an integer");
+  if (v < lo || v > hi)
+    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
+              ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+double parse_double(const std::string& opt, const char* s, double lo,
+                    double hi) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || std::isnan(v))
+    die_usage(opt + ": '" + s + "' is not a number");
+  if (v < lo || v > hi)
+    die_usage(opt + ": " + s + " is out of range");
+  return v;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream f(path);
+  if (!f) throw tarr::Error("tarr-probe: cannot write " + path);
+  f << body;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tarr;
+
+  probe::ScenarioConfig cfg;
+  cfg.congestion.seed = 7;
+  cfg.congestion.link_prob = 0.35;
+  cfg.congestion.min_factor = 0.2;
+  cfg.congestion.max_factor = 0.6;
+  cfg.controller.probe.seed = 11;
+  cfg.controller.drift_threshold = 0.03;
+  cfg.controller.hysteresis = 2;
+  std::string csv_path, metrics_path, trace_path;
+  bool fail_probe = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) die_usage("missing value for " + a);
+      return argv[++i];
+    };
+    if (a == "--smoke") {
+      cfg.num_nodes = 16;
+      cfg.tree.nodes_per_leaf = 4;
+      cfg.epochs = 6;
+    } else if (a == "--fail-probe") {
+      fail_probe = true;
+    } else if (a == "--nodes") {
+      cfg.num_nodes = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
+    } else if (a == "--epochs") {
+      cfg.epochs = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
+    } else if (a == "--noise") {
+      cfg.controller.probe.noise = parse_double(a, next(), 0.0, 0.999);
+    } else if (a == "--churn") {
+      cfg.congestion.churn = parse_double(a, next(), 0.0, 1.0);
+    } else if (a == "--seed") {
+      cfg.controller.probe.seed = static_cast<std::uint64_t>(
+          parse_int(a, next(), 0, std::numeric_limits<long>::max()));
+    } else if (a == "--csv") {
+      csv_path = next();
+    } else if (a == "--metrics") {
+      metrics_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
+    } else {
+      die_usage("unknown option " + a);
+    }
+  }
+  if (fail_probe) cfg.controller.probe.timeout_prob = 1.0;
+
+  try {
+    trace::Tracer tracer;
+    const bool want_trace = !metrics_path.empty() || !trace_path.empty();
+    const probe::ScenarioResult result =
+        probe::run_probed_scenario(cfg, want_trace ? &tracer : nullptr);
+    std::printf("%s", result.summary().c_str());
+
+    if (fail_probe) {
+      // The whole point of the flag: probing is impossible, the run still
+      // completes, and probed degrades to exactly the identity mapping.
+      for (const probe::PatternSummary& p : result.patterns) {
+        if (p.fallbacks == 0 || p.probed_mean != p.identity_mean) {
+          std::fprintf(stderr,
+                       "tarr-probe: --fail-probe did not fall back to "
+                       "identity (%s)\n",
+                       p.pattern.c_str());
+          return 1;
+        }
+      }
+      std::printf(
+          "fail-probe: all probes timed out; controller degraded to the "
+          "identity mapping (graceful fallback)\n");
+    }
+
+    if (!csv_path.empty()) write_file(csv_path, result.csv());
+    if (!metrics_path.empty()) tracer.write_metrics(metrics_path);
+    if (!trace_path.empty()) tracer.write_timeline(trace_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tarr-probe: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

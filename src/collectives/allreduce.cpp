@@ -54,4 +54,45 @@ Usec run_allreduce_rabenseifner(simmpi::Engine& eng) {
   return eng.total() - before;
 }
 
+Usec run_allreduce_ring(simmpi::Engine& eng) {
+  const int p = eng.comm().size();
+  TARR_REQUIRE(eng.buf_blocks() >= p, "run_allreduce_ring: buffer too small");
+  const Usec before = eng.total();
+  if (p == 1) return 0.0;
+
+  const bool timed = eng.mode() == simmpi::ExecMode::Timed;
+  const int stages = timed ? 1 : p - 1;
+
+  // Reduce-scatter ring: at step s rank j sends chunk (j - s) mod p to its
+  // successor, which combines it in place; after p-1 steps rank j owns the
+  // fully reduced chunk (j + 1) mod p.
+  {
+    simmpi::Engine::PhaseScope ps(eng, "ring-reduce-scatter");
+    for (int s = 0; s < stages; ++s) {
+      eng.begin_stage();
+      for (Rank j = 0; j < p; ++j) {
+        const int chunk = (j - s + p) % p;
+        eng.combine(j, chunk, (j + 1) % p, chunk, 1);
+      }
+      eng.end_stage();
+    }
+    if (timed && p > 2) eng.repeat_last_stage(p - 2);
+  }
+  // Allgather ring: rank j starts by forwarding its reduced chunk
+  // (j + 1) mod p; at step s it forwards chunk (j + 1 - s) mod p.
+  {
+    simmpi::Engine::PhaseScope ps(eng, "ring-allgather");
+    for (int s = 0; s < stages; ++s) {
+      eng.begin_stage();
+      for (Rank j = 0; j < p; ++j) {
+        const int chunk = (j + 1 - s + p) % p;
+        eng.copy(j, chunk, (j + 1) % p, chunk, 1);
+      }
+      eng.end_stage();
+    }
+    if (timed && p > 2) eng.repeat_last_stage(p - 2);
+  }
+  return eng.total() - before;
+}
+
 }  // namespace tarr::collectives

@@ -25,4 +25,12 @@ Usec run_allreduce_rd(simmpi::Engine& eng);
 /// message/p).  Requires 2^k ranks.  Bandwidth-optimal for large messages.
 Usec run_allreduce_rabenseifner(simmpi::Engine& eng);
 
+/// Ring allreduce — the ML-training workhorse (ring reduce-scatter followed
+/// by ring allgather over p chunks; 2(p-1) neighbor-only stages).  Engine:
+/// buf_blocks >= p, block_bytes = message/p.  Works for any p >= 1, and its
+/// neighbor-only traffic is exactly the pattern RMH (mapping::Pattern::Ring)
+/// reorders for.  In Timed mode each phase prices one stage and repeats it
+/// (all ring stages are isomorphic), like the ring allgather.
+Usec run_allreduce_ring(simmpi::Engine& eng);
+
 }  // namespace tarr::collectives

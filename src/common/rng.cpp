@@ -53,4 +53,12 @@ double Rng::next_double() {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (a + 1) +
+                    0xbf58476d1ce4e5b9ull * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace tarr

@@ -33,4 +33,10 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derive an independent, deterministic seed from a parent seed and two
+/// coordinates (splitmix64-style finalizer).  This is how nested loops —
+/// campaign trials, probe samples, controller epochs — obtain per-iteration
+/// streams that neither overlap nor depend on iteration order.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
 }  // namespace tarr

@@ -57,16 +57,6 @@ void validate(const CampaignConfig& cfg) {
   simmpi::validate(cfg.transient);
 }
 
-std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
-  // splitmix64-style finalizer over (seed, a, b) — independent, deterministic
-  // streams per (failure count, trial) and per mapping call.
-  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (a + 1) +
-                    0xbf58476d1ce4e5b9ull * (b + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
-
 void accumulate(simmpi::TransientFaultStats& into,
                 const simmpi::TransientFaultStats& s) {
   into.attempts += s.attempts;

@@ -1,6 +1,7 @@
 #include "fault/fault_mask.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -41,17 +42,38 @@ FaultMask& FaultMask::fail_node(NodeId n) {
   return *this;
 }
 
+int FaultMask::Degrade::resolve(int cap) const {
+  if (factor < 0.0) return capacity;
+  return std::max(1, static_cast<int>(static_cast<double>(cap) * factor));
+}
+
+FaultMask& FaultMask::insert_degrade(Degrade d, const char* what) {
+  const auto it = std::lower_bound(
+      degraded_links_.begin(), degraded_links_.end(), d.link,
+      [](const Degrade& e, LinkId link) { return e.link < link; });
+  TARR_REQUIRE(it == degraded_links_.end() || it->link != d.link,
+               std::string(what) + ": link " + std::to_string(d.link) +
+                   " already degraded");
+  degraded_links_.insert(it, d);
+  return *this;
+}
+
 FaultMask& FaultMask::degrade_link(LinkId l, int capacity) {
   TARR_REQUIRE(l >= 0, "degrade_link: negative link id");
   TARR_REQUIRE(capacity >= 1, "degrade_link: capacity must be >= 1");
-  const auto it = std::lower_bound(
-      degraded_links_.begin(), degraded_links_.end(), l,
-      [](const Degrade& d, LinkId link) { return d.link < link; });
-  TARR_REQUIRE(it == degraded_links_.end() || it->link != l,
-               "degrade_link: link " + std::to_string(l) +
-                   " already degraded");
-  degraded_links_.insert(it, Degrade{l, capacity});
-  return *this;
+  return insert_degrade(Degrade{l, capacity, -1.0}, "degrade_link");
+}
+
+FaultMask& FaultMask::degrade_link_factor(LinkId l, double factor) {
+  TARR_REQUIRE(l >= 0, "degrade_link_factor: negative link id");
+  TARR_REQUIRE(std::isfinite(factor),
+               "degrade_link_factor: factor must be finite");
+  TARR_REQUIRE(factor > 0.0,
+               "degrade_link_factor: factor must be positive");
+  TARR_REQUIRE(factor <= 1.0,
+               "degrade_link_factor: factor must be <= 1 (a degradation "
+               "cannot add capacity)");
+  return insert_degrade(Degrade{l, 1, factor}, "degrade_link_factor");
 }
 
 bool FaultMask::node_failed(NodeId n) const {
@@ -81,11 +103,14 @@ void FaultMask::validate(const SwitchGraph& g) const {
     TARR_REQUIRE(d.link < g.num_links(),
                  "FaultMask: degraded link " + std::to_string(d.link) +
                      " out of range");
-    TARR_REQUIRE(d.capacity <= g.link(d.link).capacity,
-                 "FaultMask: degraded capacity " + std::to_string(d.capacity) +
-                     " exceeds link " + std::to_string(d.link) +
-                     "'s capacity of " +
-                     std::to_string(g.link(d.link).capacity));
+    // Factor-mode entries resolve to [1, capacity] by construction; only
+    // absolute capacities can contradict the graph.
+    if (d.factor < 0.0)
+      TARR_REQUIRE(d.capacity <= g.link(d.link).capacity,
+                   "FaultMask: degraded capacity " +
+                       std::to_string(d.capacity) + " exceeds link " +
+                       std::to_string(d.link) + "'s capacity of " +
+                       std::to_string(g.link(d.link).capacity));
   }
 }
 
@@ -111,7 +136,7 @@ SwitchGraph FaultMask::apply(const SwitchGraph& g) const {
     if (link_dead[l] || vertex_dead[ln.a] || vertex_dead[ln.b]) continue;
     const int capacity =
         (degrade != degraded_links_.end() && degrade->link == l)
-            ? degrade->capacity
+            ? degrade->resolve(ln.capacity)
             : ln.capacity;
     out.add_link(ln.a, ln.b, capacity);
   }

@@ -27,10 +27,17 @@ namespace tarr::fault {
 /// See file comment.  Builder calls chain: FaultMask{}.fail_link(3).fail_node(7).
 class FaultMask {
  public:
-  /// One capacity degradation: `link` keeps running at `capacity` cables.
+  /// One capacity degradation.  Either an absolute surviving capacity
+  /// (`capacity` cables, factor < 0) or a relative factor in (0, 1]
+  /// resolved against the link's capacity at apply time (at least one
+  /// cable always survives — a fully dead link is fail_link's job).
   struct Degrade {
     LinkId link = -1;
     int capacity = 1;
+    double factor = -1.0;  ///< < 0 = absolute-capacity mode
+
+    /// Cables the degraded link keeps when its pristine capacity is `cap`.
+    int resolve(int cap) const;
   };
 
   /// Cut a link entirely (idempotent).
@@ -47,6 +54,14 @@ class FaultMask {
   /// Run a link at reduced capacity (cables lost from an aggregated bundle).
   /// `capacity` must be >= 1 and at most the link's capacity at apply time.
   FaultMask& degrade_link(LinkId l, int capacity);
+
+  /// Run a link at a fraction of its capacity — the multi-tenant congestion
+  /// form (tarr::probe layers its stochastic background-traffic model on
+  /// this).  `factor` must be finite and in (0, 1]; the surviving capacity
+  /// is floor(capacity * factor), never below one cable.  Rejects NaN,
+  /// infinities, zero, negatives and factors above 1 with a structured
+  /// tarr::Error.
+  FaultMask& degrade_link_factor(LinkId l, double factor);
 
   bool empty() const {
     return failed_links_.empty() && failed_switches_.empty() &&
@@ -94,6 +109,8 @@ class FaultMask {
                                 Rng& rng);
 
  private:
+  FaultMask& insert_degrade(Degrade d, const char* what);
+
   // Kept sorted and unique so masks compare and describe deterministically.
   std::vector<LinkId> failed_links_;
   std::vector<NetVertexId> failed_switches_;

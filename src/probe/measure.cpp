@@ -1,0 +1,209 @@
+#include "probe/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "bench/csv.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "topology/intranode.hpp"
+
+namespace tarr::probe {
+
+void validate(const ProbeConfig& cfg) {
+  TARR_REQUIRE(cfg.samples_per_pair >= 1,
+               "probe: samples_per_pair must be >= 1");
+  TARR_REQUIRE(cfg.noise >= 0.0 && cfg.noise < 1.0,
+               "probe: noise must be in [0, 1)");
+  TARR_REQUIRE(cfg.outlier_prob >= 0.0 && cfg.outlier_prob <= 1.0,
+               "probe: outlier_prob must be in [0, 1]");
+  TARR_REQUIRE(cfg.outlier_scale >= 1.0, "probe: outlier_scale must be >= 1");
+  TARR_REQUIRE(cfg.timeout_prob >= 0.0 && cfg.timeout_prob <= 1.0,
+               "probe: timeout_prob must be in [0, 1]");
+  TARR_REQUIRE(cfg.max_attempts >= 1, "probe: max_attempts must be >= 1");
+  TARR_REQUIRE(cfg.backoff_base_usec >= 0.0,
+               "probe: backoff_base_usec must be >= 0");
+  TARR_REQUIRE(cfg.backoff_factor >= 1.0,
+               "probe: backoff_factor must be >= 1");
+  TARR_REQUIRE(cfg.worst_case_margin >= 1.0,
+               "probe: worst_case_margin must be >= 1");
+  TARR_REQUIRE(
+      cfg.min_resolved_fraction >= 0.0 && cfg.min_resolved_fraction <= 1.0,
+      "probe: min_resolved_fraction must be in [0, 1]");
+}
+
+bool ProbeReport::failed(const ProbeConfig& cfg) const {
+  if (pairs == 0) return false;  // single-node "cluster": nothing to probe
+  return static_cast<double>(resolved_pairs) <
+         cfg.min_resolved_fraction * static_cast<double>(pairs);
+}
+
+std::string ProbeReport::csv() const {
+  bench::CsvWriter w;
+  w.set_header({"a", "b", "samples", "timeouts", "retries", "resolved",
+                "estimate", "truth"});
+  std::ostringstream num;
+  for (const PairProbe& p : pair_stats) {
+    num.str("");
+    num << p.estimate;
+    const std::string est = num.str();
+    num.str("");
+    num << p.truth;
+    w.add_row({std::to_string(p.a), std::to_string(p.b),
+               std::to_string(p.samples), std::to_string(p.timeouts),
+               std::to_string(p.retries), p.resolved ? "1" : "0", est,
+               num.str()});
+  }
+  return w.to_string();
+}
+
+std::string ProbeReport::summary() const {
+  std::ostringstream os;
+  os << "probe: " << nodes << " nodes, " << resolved_pairs << "/" << pairs
+     << " pairs resolved (" << measurements << " measurements, " << timeouts
+     << " timeouts, " << retries << " retries, "
+     << static_cast<long long>(probe_cost_usec) << " us simulated)";
+  if (resolved_pairs > 0) {
+    os << "; residual error rms ";
+    os.precision(4);
+    os << rms_rel_error << " max " << max_rel_error;
+  }
+  if (unresolved_pairs() > 0)
+    os << "; " << unresolved_pairs()
+       << " unresolved pair(s) priced at worst-case " << worst_case_distance;
+  return os.str();
+}
+
+ProbedDistances probe_distances(const topology::Machine& m,
+                                const topology::DistanceMatrix& truth,
+                                const ProbeConfig& cfg,
+                                trace::TraceSink* sink) {
+  validate(cfg);
+  TARR_REQUIRE(truth.size() == m.num_nodes(),
+               "probe_distances: truth matrix size does not match machine");
+  WallTimer wall;
+
+  const int nodes = m.num_nodes();
+  const int cpn = m.cores_per_node();
+  ProbedDistances out(m.total_cores(), nodes);
+  ProbeReport& rep = out.report;
+  rep.nodes = nodes;
+  rep.pairs = nodes * (nodes - 1) / 2;
+  rep.pair_stats.reserve(static_cast<std::size_t>(rep.pairs));
+
+  // Pass 1: sample every pair.  Each (pair, sample, attempt) draws from its
+  // own mix_seed-derived stream, so the outcome is independent of probing
+  // order and bit-stable across runs.
+  std::vector<float> samples;
+  float max_estimate = 0.0f;
+  double err_sq_sum = 0.0;
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = a + 1; b < nodes; ++b) {
+      PairProbe pp;
+      pp.a = a;
+      pp.b = b;
+      pp.truth = truth.at(a, b);
+      const bool unreachable = std::isinf(pp.truth);
+      const std::uint64_t pair_seed =
+          mix_seed(cfg.seed, static_cast<std::uint64_t>(a),
+                   static_cast<std::uint64_t>(b));
+      samples.clear();
+      for (int s = 0; s < cfg.samples_per_pair; ++s) {
+        Rng rng(mix_seed(pair_seed, static_cast<std::uint64_t>(s), 0));
+        bool landed = false;
+        for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+          ++rep.measurements;
+          const bool timeout =
+              unreachable || rng.next_double() < cfg.timeout_prob;
+          if (!timeout) {
+            double v = static_cast<double>(pp.truth) *
+                       (1.0 + cfg.noise * (2.0 * rng.next_double() - 1.0));
+            if (rng.next_double() < cfg.outlier_prob) v *= cfg.outlier_scale;
+            samples.push_back(static_cast<float>(v));
+            rep.probe_cost_usec += v;
+            landed = true;
+            break;
+          }
+          ++pp.timeouts;
+          ++rep.timeouts;
+          // The timed-out attempt itself costs one detection window.
+          rep.probe_cost_usec += cfg.backoff_base_usec;
+          if (attempt + 1 < cfg.max_attempts) {
+            ++pp.retries;
+            ++rep.retries;
+            rep.probe_cost_usec +=
+                cfg.backoff_base_usec * std::pow(cfg.backoff_factor, attempt);
+          }
+        }
+        (void)landed;
+      }
+      pp.samples = static_cast<int>(samples.size());
+      if (!samples.empty()) {
+        // Median-of-k outlier rejection (even k: lower median, so a half-
+        // spiked sample set still lands on a clean sample).
+        std::sort(samples.begin(), samples.end());
+        pp.estimate = samples[(samples.size() - 1) / 2];
+        pp.resolved = true;
+        ++rep.resolved_pairs;
+        max_estimate = std::max(max_estimate, pp.estimate);
+        const double rel =
+            std::abs(static_cast<double>(pp.estimate) - pp.truth) / pp.truth;
+        err_sq_sum += rel * rel;
+        rep.max_rel_error = std::max(rep.max_rel_error, rel);
+      }
+      rep.pair_stats.push_back(pp);
+    }
+  }
+  if (rep.resolved_pairs > 0)
+    rep.rms_rel_error = std::sqrt(err_sq_sum / rep.resolved_pairs);
+
+  // Conservative fill for the unresolved remainder.  With nothing resolved
+  // at all there is no empirical anchor; fall back to the configured scale's
+  // deepest plausible route so the matrix stays finite (the caller will see
+  // failed() and distrust it anyway).
+  rep.worst_case_distance =
+      max_estimate > 0.0f
+          ? max_estimate * static_cast<float>(cfg.worst_case_margin)
+          : cfg.distances.inter_node_base + cfg.distances.per_hop * 16.0f;
+
+  // Pass 2: assemble the matrices.  Intra-node blocks are exact (hwloc is
+  // local); inter-node entries replicate the pair estimate over all core
+  // pairs, mirroring extract_distances' structure.
+  std::vector<float> intra(static_cast<std::size_t>(cpn) * cpn);
+  for (int x = 0; x < cpn; ++x)
+    for (int y = 0; y < cpn; ++y)
+      intra[static_cast<std::size_t>(x) * cpn + y] = topology::intra_level_weight(
+          cfg.distances, topology::intranode_level(m.shape(), x, y));
+
+  std::size_t pair_idx = 0;
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (int x = 0; x < cpn; ++x)
+      for (int y = 0; y < cpn; ++y)
+        out.core.set(m.core_id(a, x), m.core_id(a, y),
+                     intra[static_cast<std::size_t>(x) * cpn + y]);
+    for (NodeId b = a + 1; b < nodes; ++b, ++pair_idx) {
+      const PairProbe& pp = rep.pair_stats[pair_idx];
+      const float d = pp.resolved ? pp.estimate : rep.worst_case_distance;
+      out.node.set(a, b, d);
+      for (int x = 0; x < cpn; ++x)
+        for (int y = 0; y < cpn; ++y)
+          out.core.set(m.core_id(a, x), m.core_id(b, y), d);
+    }
+  }
+
+  if (sink != nullptr) {
+    sink->add_count("probe.measurements",
+                    static_cast<double>(rep.measurements));
+    sink->add_count("probe.timeouts", static_cast<double>(rep.timeouts));
+    sink->add_count("probe.retries", static_cast<double>(rep.retries));
+    sink->add_count("probe.unresolved_pairs",
+                    static_cast<double>(rep.unresolved_pairs()));
+    sink->add_count("probe.cost_usec", rep.probe_cost_usec);
+    sink->on_wall_span(trace::WallSpan{"probe", wall.seconds()});
+  }
+  return out;
+}
+
+}  // namespace tarr::probe

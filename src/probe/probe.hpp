@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file probe.hpp
+/// tarr::probe — robust mapping under uncertain, churning topologies.
+///
+/// The paper extracts exact distances once and maps once.  This subsystem
+/// drops both assumptions: distances are *inferred* from noisy pairwise
+/// probes (measure.hpp), the fabric *changes* under seeded multi-tenant
+/// congestion (congestion.hpp), and an adaptive controller decides when the
+/// mapping has gone stale and re-probes with hysteresis, falling back to
+/// the identity mapping when probing fails (controller.hpp).  scenario.hpp
+/// packages the fig8 experiment comparing probed re-mapping against the
+/// identity floor and the perfect-knowledge oracle ceiling.
+
+#include "probe/congestion.hpp"   // IWYU pragma: export
+#include "probe/controller.hpp"   // IWYU pragma: export
+#include "probe/measure.hpp"      // IWYU pragma: export
+#include "probe/scenario.hpp"     // IWYU pragma: export

@@ -14,8 +14,9 @@ namespace {
 constexpr std::uint32_t kDistanceFileMagic = 0x74615244u;  // "DRat"
 constexpr std::uint32_t kDistanceFileVersion = 1;
 
-/// Weight of one intra-node locality level under a config.
-float intra_weight(const DistanceConfig& cfg, IntraLevel level) {
+}  // namespace
+
+float intra_level_weight(const DistanceConfig& cfg, IntraLevel level) {
   switch (level) {
     case IntraLevel::SameCore:
       return cfg.same_core;
@@ -28,8 +29,6 @@ float intra_weight(const DistanceConfig& cfg, IntraLevel level) {
   }
   return cfg.cross_socket;
 }
-
-}  // namespace
 
 DistanceMatrix::DistanceMatrix(int n, float fill)
     : n_(n), d_(static_cast<std::size_t>(n) * n, fill) {
@@ -77,7 +76,7 @@ DistanceMatrix extract_distances(const Machine& m, const DistanceConfig& cfg) {
   for (int a = 0; a < cpn; ++a) {
     for (int b = 0; b < cpn; ++b) {
       intra[static_cast<std::size_t>(a) * cpn + b] =
-          intra_weight(cfg, intranode_level(m.shape(), a, b));
+          intra_level_weight(cfg, intranode_level(m.shape(), a, b));
     }
   }
 
@@ -127,7 +126,7 @@ DistanceMatrix extract_intranode_distances(const Machine& m,
   DistanceMatrix d(cpn);
   for (int a = 0; a < cpn; ++a) {
     for (int b = a + 1; b < cpn; ++b) {
-      d.set(a, b, intra_weight(cfg, intranode_level(m.shape(), a, b)));
+      d.set(a, b, intra_level_weight(cfg, intranode_level(m.shape(), a, b)));
     }
   }
   return d;

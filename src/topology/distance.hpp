@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "topology/intranode.hpp"
 #include "topology/machine.hpp"
 
 /// \file distance.hpp
@@ -36,6 +37,10 @@ struct DistanceConfig {
   float inter_node_base = 10.0f;
   float per_hop = 5.0f;
 };
+
+/// Weight of one intra-node locality level under `cfg` (the scale shared by
+/// extract_distances and tarr::probe's inferred matrices).
+float intra_level_weight(const DistanceConfig& cfg, IntraLevel level);
 
 /// Dense symmetric core-to-core distance matrix.
 class DistanceMatrix {

@@ -22,6 +22,8 @@ void validate(const GpcTreeConfig& cfg) {
                "GpcTreeConfig: leaves_per_line must be >= 1");
   TARR_REQUIRE(cfg.line_spine_capacity >= 1,
                "GpcTreeConfig: line_spine_capacity must be >= 1");
+  TARR_REQUIRE(cfg.host_link_capacity >= 1,
+               "GpcTreeConfig: host_link_capacity must be >= 1");
   // Every leaf's uplinks must land on an existing line switch.
   const int lines_needed =
       (cfg.num_leaves + cfg.leaves_per_line - 1) / cfg.leaves_per_line;
@@ -79,7 +81,7 @@ SwitchGraph build_gpc_network(int num_nodes, const GpcTreeConfig& cfg) {
   for (NodeId n = 0; n < num_nodes; ++n) {
     const NetVertexId host =
         g.add_vertex(VertexKind::Host, "node" + std::to_string(n), n);
-    g.add_link(host, leaves[n / cfg.nodes_per_leaf], 1);
+    g.add_link(host, leaves[n / cfg.nodes_per_leaf], cfg.host_link_capacity);
   }
   return g;
 }

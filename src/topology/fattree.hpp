@@ -24,6 +24,11 @@ struct GpcTreeConfig {
   int spines_per_core = 9;      ///< spine switches inside each core switch
   int leaves_per_line = 6;      ///< leaf bundles attached to each line switch
   int line_spine_capacity = 2;  ///< cables from each line to each spine
+  /// Cables from each compute node to its leaf switch.  The paper's nodes
+  /// inject over a single QDR cable (the default); ML-style accelerator
+  /// nodes with fat NICs (tarr::probe scenarios) widen this so the
+  /// oversubscribed switch fabric — not injection — is the bottleneck.
+  int host_link_capacity = 1;
 };
 
 /// Validate a GpcTreeConfig: every count/capacity must be >= 1 and the

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.hpp"
 #include "core/framework.hpp"
 #include "simmpi/layout.hpp"
@@ -67,6 +70,42 @@ TEST_P(Rabenseifner, BlockwiseXorReduction) {
 
 INSTANTIATE_TEST_SUITE_P(Pow2, Rabenseifner,
                          ::testing::Values(1, 2, 4, 8, 16, 32));
+
+class AllreduceRing : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllreduceRing, EveryRankHoldsXorOfAllContributions) {
+  const int p = GetParam();
+  const Machine m = Machine::gpc(std::max(1, (p + 7) / 8));
+  if (p > m.total_cores()) GTEST_SKIP();
+  const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
+  // Ring reduce-scatter + allgather works on p chunks: buf_blocks = p.
+  Engine eng(comm, simmpi::CostConfig{}, ExecMode::Data, 256, p);
+  std::vector<std::uint32_t> expected(static_cast<std::size_t>(p), 0);
+  for (Rank r = 0; r < p; ++r)
+    for (int b = 0; b < p; ++b) {
+      const std::uint32_t tag = 0x2000u + 41u * r + 7u * b;
+      eng.set_block(r, b, tag);
+      expected[static_cast<std::size_t>(b)] ^= tag;
+    }
+  run_allreduce_ring(eng);
+  for (Rank r = 0; r < p; ++r)
+    for (int b = 0; b < p; ++b)
+      EXPECT_EQ(eng.block(r, b), expected[static_cast<std::size_t>(b)])
+          << "rank " << r << " block " << b;
+}
+
+// Unlike recursive doubling, the ring handles non-powers-of-two too.
+INSTANTIATE_TEST_SUITE_P(AnyP, AllreduceRing,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+TEST(AllreduceRing, TimedModeChargesPositiveCost) {
+  const Machine m = Machine::gpc(2);
+  const int p = 16;
+  const Communicator comm(m, make_layout(m, p, LayoutSpec{}));
+  Engine eng(comm, simmpi::CostConfig{}, ExecMode::Timed, 4096, p);
+  const Usec t = run_allreduce_ring(eng);
+  EXPECT_GT(t, 0.0);
+}
 
 TEST(AllreduceReordered, RdmhReorderPreservesResult) {
   // Reductions are order-independent: a reordered communicator needs no

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/error.hpp"
@@ -105,6 +106,43 @@ TEST(FaultMask, DegradeLinkReducesCapacity) {
   const SwitchGraph d = FaultMask{}.degrade_link(uplink, 1).apply(g);
   EXPECT_EQ(d.link(uplink).capacity, 1);
   EXPECT_EQ(d.num_links(), g.num_links());
+}
+
+TEST(FaultMask, DegradeFactorScalesCapacityWithFloorOfOne) {
+  const SwitchGraph g = build_gpc_network(60);
+  LinkId uplink = -1;
+  for (LinkId l = 0; l < g.num_links(); ++l)
+    if (g.link(l).capacity == 3) {
+      uplink = l;
+      break;
+    }
+  ASSERT_GE(uplink, 0);
+  // capacity 3 * 0.5 -> 1 (truncated), * 1.0 -> unchanged, tiny -> floor 1.
+  EXPECT_EQ(FaultMask{}.degrade_link_factor(uplink, 0.5).apply(g)
+                .link(uplink).capacity, 1);
+  EXPECT_EQ(FaultMask{}.degrade_link_factor(uplink, 1.0).apply(g)
+                .link(uplink).capacity, 3);
+  EXPECT_EQ(FaultMask{}.degrade_link_factor(uplink, 0.01).apply(g)
+                .link(uplink).capacity, 1);
+}
+
+TEST(FaultMask, DegradeFactorRejectsNonFiniteAndOutOfRange) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, nan), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, inf), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, -inf), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, 0.0), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, -0.5), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(0, 1.5), Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(-1, 0.5), Error);
+}
+
+TEST(FaultMask, DegradeSameLinkTwiceRejectedAcrossBothModes) {
+  EXPECT_THROW(FaultMask{}.degrade_link(4, 2).degrade_link_factor(4, 0.5),
+               Error);
+  EXPECT_THROW(FaultMask{}.degrade_link_factor(4, 0.5).degrade_link(4, 2),
+               Error);
 }
 
 TEST(FaultMask, DegradeBeyondCapacityThrows) {
