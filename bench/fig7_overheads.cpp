@@ -5,17 +5,31 @@
 //   (b) time spent by the mapping algorithm itself — the paper's fine-tuned
 //       heuristics vs the general-purpose graph mappers (Scotch-like, and
 //       additionally the Hoefler-Snir-style greedy), per pattern.
+//
+// Section (c) is the tarr::prof scaling-curve harness: the same phases
+// measured in *deterministic work counters* (distance cells, bisection swap
+// evaluations, priced transfers) swept over rank counts and fitted to a
+// power law.  Unlike (a)/(b) these metrics are byte-stable across machines,
+// so they are gated in the perf snapshot; the fitted exponents are the
+// empirical-complexity baseline recorded in docs/OBSERVABILITY.md.
 
 #include <cstdio>
+#include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/fixtures.hpp"
+#include "common/permutation.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "core/refine.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/heuristics.hpp"
+#include "prof/prof.hpp"
+#include "simmpi/layout.hpp"
 #include "topology/distance.hpp"
 
 namespace {
@@ -33,6 +47,14 @@ double time_mapper(const mapping::Mapper& m, const std::vector<int>& initial,
     if (result.empty()) std::abort();  // keep the call observable
   }
   return acc.mean();
+}
+
+/// Run `body` under a fresh ambient profiler and return its counter profile.
+prof::Profile profile_phase(const std::function<void()>& body) {
+  prof::Profiler profiler;
+  prof::ScopedThreadProfiler guard(&profiler);
+  body();
+  return profiler.snapshot();
 }
 
 }  // namespace
@@ -98,6 +120,79 @@ int main() {
     }
   }
   std::printf("%s\n", tb.render().c_str());
+
+  // (c) Scaling curves: deterministic per-phase work counters (tarr::prof).
+  // Each phase runs under its own fresh profiler so its counters are not
+  // polluted by the others; the tracked counter per phase is the one that
+  // dominates its asymptotic cost.  All of these are gate=true — they are
+  // exact integers, identical on every machine.
+  std::printf("Fig 7(c) — scaling curves (deterministic work counters)\n");
+  const std::vector<std::pair<std::string, std::string>> phases = {
+      {"distance-extraction", "distance.cells"},
+      {"bisection", "bisection.swap_evals"},
+      {"refinement", "cost.transfers_priced"},
+      {"engine-pricing", "cost.transfers_priced"},
+  };
+  std::map<std::string, std::vector<prof::ScalingPoint>> curves;
+  for (int nodes : node_counts) {
+    const int p = nodes * 8;
+    const topology::Machine m = topology::Machine::gpc(nodes);
+    const auto dist = topology::extract_distances(m);
+    const auto cores = simmpi::make_layout(m, p, simmpi::LayoutSpec{});
+    const std::vector<int> initial(cores.begin(), cores.end());
+    const simmpi::Communicator comm(m, cores);
+    const auto objective = core::allgather_objective(
+        collectives::AllgatherAlgo::RecursiveDoubling, 8 * 1024,
+        collectives::OrderFix::None, simmpi::CostConfig{});
+
+    std::map<std::string, prof::Profile> by_phase;
+    by_phase["distance-extraction"] = profile_phase([&] {
+      if (topology::extract_distances(m).size() != m.total_cores())
+        std::abort();
+    });
+    by_phase["bisection"] = profile_phase([&] {
+      const auto scotch =
+          mapping::make_scotch_like_mapper(mapping::Pattern::RecursiveDoubling);
+      Rng rng(1);
+      if (scotch->map(initial, dist, rng).empty()) std::abort();
+    });
+    by_phase["engine-pricing"] = profile_phase([&] {
+      if (objective(comm, identity_permutation(p)) <= 0.0) std::abort();
+    });
+    by_phase["refinement"] = profile_phase([&] {
+      core::RefineOptions ropts;
+      ropts.max_swaps = 32;  // bounded search: work scales with rank count
+      ropts.seed = 1;
+      const core::ReorderedComm start{comm, identity_permutation(p), 0.0};
+      core::refine_by_simulation(comm, start, objective, ropts);
+    });
+
+    for (const auto& [phase, counter] : phases) {
+      const double v = by_phase[phase].counter_total(counter);
+      snapshot.add_metric(
+          "prof." + phase + "." + counter + ".n" + std::to_string(nodes), v,
+          "count", /*higher_is_better=*/false, /*gate=*/true);
+      curves[phase + "." + counter].push_back(
+          prof::ScalingPoint{static_cast<double>(p), v});
+    }
+  }
+
+  TextTable tc;
+  tc.set_header({"phase", "counter", "exponent", "r^2", "empirical"});
+  for (const auto& [phase, counter] : phases) {
+    const auto& pts = curves[phase + "." + counter];
+    const prof::PowerFit fit = prof::fit_power_law(pts);
+    tc.add_row({phase, counter,
+                fit.valid ? TextTable::num(fit.exponent, 2) : "n/a",
+                fit.valid ? TextTable::num(fit.r2, 3) : "n/a",
+                prof::classify_complexity(fit)});
+    if (fit.valid)
+      snapshot.add_metric("prof." + phase + "." + counter + ".exponent",
+                          fit.exponent, "exponent",
+                          /*higher_is_better=*/false, /*gate=*/true);
+  }
+  std::printf("%s\n", tc.render().c_str());
+
   snapshot.dump();
 
   std::printf(

@@ -4,10 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
 
 #include "mapping/comparators.hpp"
 #include "mapping/heuristics.hpp"
+#include "prof/prof.hpp"
 #include "simmpi/layout.hpp"
 #include "topology/distance.hpp"
 
@@ -101,6 +103,65 @@ void BM_ScotchLike(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_ScotchLike)->Arg(16)->Arg(64);
+
+// Work-counter twins: the same phases measured in deterministic tarr::prof
+// counters per iteration instead of wall time.  These numbers are identical
+// on every machine — they are what to compare across hosts, and what the
+// fig7 scaling harness gates on.
+template <typename MakeMapper>
+void run_mapper_work_benchmark(benchmark::State& state, MakeMapper make,
+                               std::initializer_list<const char*> counters) {
+  MapFixture& f = fixture(static_cast<int>(state.range(0)));
+  const auto mapper = make();
+  prof::Profiler profiler;
+  prof::ScopedThreadProfiler guard(&profiler);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(mapper->map(f.initial, f.dist, rng));
+  }
+  const prof::Profile p = profiler.snapshot();
+  const double iters = static_cast<double>(state.iterations());
+  for (const char* c : counters)
+    state.counters[c] =
+        benchmark::Counter(iters > 0 ? p.counter_total(c) / iters : 0.0);
+  state.SetLabel(std::to_string(f.initial.size()) + " ranks");
+}
+
+void BM_RdmhWork(benchmark::State& state) {
+  run_mapper_work_benchmark(
+      state,
+      [] { return mapping::make_heuristic(mapping::Pattern::RecursiveDoubling); },
+      {"mapping.scan_steps", "mapping.placements"});
+}
+BENCHMARK(BM_RdmhWork)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ScotchLikeWork(benchmark::State& state) {
+  run_mapper_work_benchmark(
+      state,
+      [] {
+        return mapping::make_scotch_like_mapper(
+            mapping::Pattern::RecursiveDoubling);
+      },
+      {"bisection.calls", "bisection.swap_evals"});
+}
+BENCHMARK(BM_ScotchLikeWork)->Arg(16)->Arg(64);
+
+void BM_DistanceExtractionWork(benchmark::State& state) {
+  const topology::Machine m =
+      topology::Machine::gpc(static_cast<int>(state.range(0)));
+  prof::Profiler profiler;
+  prof::ScopedThreadProfiler guard(&profiler);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::extract_distances(m));
+  }
+  const prof::Profile p = profiler.snapshot();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["distance.cells"] = benchmark::Counter(
+      iters > 0 ? p.counter_total("distance.cells") / iters : 0.0);
+  state.SetLabel(std::to_string(m.total_cores()) + " cores");
+}
+BENCHMARK(BM_DistanceExtractionWork)->Arg(16)->Arg(64)->Arg(128);
 
 }  // namespace
 

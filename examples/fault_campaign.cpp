@@ -22,6 +22,9 @@
 //                         mean baseline/stale/remap latency per pattern
 //                         across the failure sweep (tarr::viz; deterministic
 //                         like every other artifact here)
+//   --prof PATH           also self-profile the campaign (tarr::prof) and
+//                         write the deterministic work-counter flat profile
+//                         CSV; prof.* totals are appended to the summary
 //
 // --smoke prints the metrics CSV after the summary, so CI gets the
 // machine-readable counters without an extra file.
@@ -33,11 +36,14 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "fault/campaign.hpp"
+#include "prof/prof.hpp"
+#include "trace/tracer.hpp"
 #include "viz/html.hpp"
 
 namespace {
@@ -54,7 +60,8 @@ constexpr const char* kUsage =
     "  --csv PATH            also write the per-row CSV\n"
     "  --json PATH           also write the JSON rows\n"
     "  --metrics PATH        also write the campaign metrics CSV\n"
-    "  --html PATH           also write the HTML chart page\n";
+    "  --html PATH           also write the HTML chart page\n"
+    "  --prof PATH           also write the tarr::prof flat profile CSV\n";
 
 [[noreturn]] void die_usage(const std::string& why) {
   std::fprintf(stderr, "fault_campaign: %s\n%s", why.c_str(), kUsage);
@@ -199,7 +206,7 @@ int main(int argc, char** argv) {
   using namespace tarr;
 
   fault::CampaignConfig cfg;
-  std::string csv_path, json_path, metrics_path, html_path;
+  std::string csv_path, json_path, metrics_path, html_path, prof_path;
   bool smoke = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -250,12 +257,26 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (a == "--html") {
       html_path = next();
+    } else if (a == "--prof") {
+      prof_path = next();
     } else {
       die_usage("unknown option " + a);
     }
   }
 
   try {
+    // Fail fast on unwritable output paths — a campaign can run for minutes.
+    for (const std::string& p :
+         {csv_path, json_path, metrics_path, html_path, prof_path})
+      if (!p.empty()) trace::Tracer::ensure_writable(p);
+
+    prof::Profiler profiler;
+    std::optional<prof::ScopedThreadProfiler> prof_ambient;
+    if (!prof_path.empty()) {
+      prof::link_memhook();
+      prof_ambient.emplace(&profiler);
+    }
+
     const fault::CampaignResult result = fault::run_fault_campaign(cfg);
     std::printf("%s", result.summary().c_str());
     if (smoke) {
@@ -266,6 +287,18 @@ int main(int argc, char** argv) {
     if (!json_path.empty()) write_file(json_path, result.json());
     if (!metrics_path.empty()) write_file(metrics_path, result.metrics_csv());
     if (!html_path.empty()) write_file(html_path, campaign_html(result));
+    if (!prof_path.empty()) {
+      const prof::Profile profile = profiler.snapshot();
+      write_file(prof_path, prof::flat_csv(profile));
+      // The campaign summary picks the profiler totals up as prof.* counter
+      // rows (same registry schema as the campaign metrics CSV).
+      trace::MetricsRegistry reg;
+      prof::publish(profile, reg);
+      std::printf("\nprof totals (category,key,count,total,peak):\n%s",
+                  reg.csv().c_str());
+      std::printf("prof    : %s (%zu scopes)\n", prof_path.c_str(),
+                  profile.entries.size());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "fault_campaign: %s\n", e.what());
     return 1;

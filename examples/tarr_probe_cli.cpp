@@ -18,6 +18,9 @@
 //   --csv PATH         also write the per-epoch CSV
 //   --metrics PATH     also write the trace metrics CSV
 //   --trace PATH       also write a Perfetto-loadable trace JSON
+//   --prof PATH        also self-profile the scenario (tarr::prof) and write
+//                      the deterministic work-counter flat profile CSV;
+//                      prof.* totals join the --metrics CSV when both are set
 
 #include <cerrno>
 #include <cmath>
@@ -25,9 +28,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "prof/prof.hpp"
 #include "probe/probe.hpp"
 #include "trace/tracer.hpp"
 
@@ -44,7 +49,8 @@ constexpr const char* kUsage =
     "  --seed S           probe seed                      (default 11)\n"
     "  --csv PATH         also write the per-epoch CSV\n"
     "  --metrics PATH     also write the trace metrics CSV\n"
-    "  --trace PATH       also write a Perfetto-loadable trace JSON\n";
+    "  --trace PATH       also write a Perfetto-loadable trace JSON\n"
+    "  --prof PATH        also write the tarr::prof flat profile CSV\n";
 
 [[noreturn]] void die_usage(const std::string& why) {
   std::fprintf(stderr, "tarr-probe: %s\n%s", why.c_str(), kUsage);
@@ -94,7 +100,7 @@ int main(int argc, char** argv) {
   cfg.controller.probe.seed = 11;
   cfg.controller.drift_threshold = 0.03;
   cfg.controller.hysteresis = 2;
-  std::string csv_path, metrics_path, trace_path;
+  std::string csv_path, metrics_path, trace_path, prof_path;
   bool fail_probe = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,6 +132,8 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--prof") {
+      prof_path = next();
     } else {
       die_usage("unknown option " + a);
     }
@@ -133,6 +141,17 @@ int main(int argc, char** argv) {
   if (fail_probe) cfg.controller.probe.timeout_prob = 1.0;
 
   try {
+    // Fail fast on unwritable output paths — before any epoch runs.
+    for (const std::string& p : {csv_path, metrics_path, trace_path, prof_path})
+      if (!p.empty()) trace::Tracer::ensure_writable(p);
+
+    prof::Profiler profiler;
+    std::optional<prof::ScopedThreadProfiler> prof_ambient;
+    if (!prof_path.empty()) {
+      prof::link_memhook();
+      prof_ambient.emplace(&profiler);
+    }
+
     trace::Tracer tracer;
     const bool want_trace = !metrics_path.empty() || !trace_path.empty();
     const probe::ScenarioResult result =
@@ -157,6 +176,14 @@ int main(int argc, char** argv) {
     }
 
     if (!csv_path.empty()) write_file(csv_path, result.csv());
+    if (!prof_path.empty()) {
+      const prof::Profile profile = profiler.snapshot();
+      write_file(prof_path, prof::flat_csv(profile));
+      // Profiler totals ride along in the metrics CSV as prof.* counters.
+      prof::publish(profile, tracer.metrics());
+      std::printf("prof    : %s (%zu scopes)\n", prof_path.c_str(),
+                  profile.entries.size());
+    }
     if (!metrics_path.empty()) tracer.write_metrics(metrics_path);
     if (!trace_path.empty()) tracer.write_timeline(trace_path);
   } catch (const Error& e) {

@@ -10,6 +10,8 @@
 //            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
 //            [--msg BYTES] [--trace out.json] [--metrics out.csv]
 //            [--trace-wall] [--report] [--html out.html]
+//            [--prof out.csv] [--prof-speedscope out.json]
+//            [--prof-collapsed out.txt] [--prof-wall]
 //
 // With --trace/--metrics/--report/--html the tool also *runs* the
 // pattern-matched collective (Timed engine, --msg bytes per block) over the
@@ -23,11 +25,21 @@
 // the run.  Trace files and dashboards are byte-identical across same-seed
 // runs unless --trace-wall opts into real wall-clock durations for the
 // mapping spans (the dashboard never embeds wall-clock values).
+//
+// With --prof the tool additionally self-profiles: a tarr::prof ambient
+// profiler covers distance extraction, the mapping run and the simulated
+// collective, and the deterministic work-counter flat profile is written as
+// CSV (plus optional speedscope JSON / collapsed stacks for flamegraphs).
+// Counter profiles are byte-identical across same-seed runs; --prof-wall
+// opts wall-clock columns into the CSV, mirroring --trace-wall.  Profiler
+// totals are also published as prof.* rows into the --metrics CSV, and
+// --html gains an "Overheads" section.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "collectives/allgather.hpp"
@@ -35,6 +47,7 @@
 #include "core/topoallgather.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/mapcost.hpp"
+#include "prof/prof.hpp"
 #include "report/critical_path.hpp"
 #include "report/record.hpp"
 #include "report/render.hpp"
@@ -51,7 +64,9 @@ using namespace tarr;
                "usage: %s [--nodes N] [--procs P] [--layout L] "
                "[--pattern PAT] [--mapper M] [--seed S] [--quiet] "
                "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
-               "[--trace-wall] [--report] [--html out.html]\n",
+               "[--trace-wall] [--report] [--html out.html] "
+               "[--prof out.csv] [--prof-speedscope out.json] "
+               "[--prof-collapsed out.txt] [--prof-wall]\n",
                argv0);
   std::exit(2);
 }
@@ -88,6 +103,14 @@ void run_traced_collective(simmpi::Engine& eng, mapping::Pattern pattern,
   }
 }
 
+void write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("cannot write " + path);
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  if (std::fclose(f) != 0 || !ok) throw Error("failed writing " + path);
+}
+
 simmpi::LayoutSpec parse_layout(const std::string& s) {
   for (const auto& spec : simmpi::all_layouts())
     if (to_string(spec) == s) return spec;
@@ -114,7 +137,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   long long msg_bytes = 16 * 1024;
   std::string trace_path, metrics_path, html_path;
+  std::string prof_path, prof_speedscope_path, prof_collapsed_path;
   bool trace_wall = false;
+  bool prof_wall = false;
   bool report = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +173,14 @@ int main(int argc, char** argv) {
       report = true;
     } else if (!std::strcmp(argv[i], "--html")) {
       html_path = next();
+    } else if (!std::strcmp(argv[i], "--prof")) {
+      prof_path = next();
+    } else if (!std::strcmp(argv[i], "--prof-speedscope")) {
+      prof_speedscope_path = next();
+    } else if (!std::strcmp(argv[i], "--prof-collapsed")) {
+      prof_collapsed_path = next();
+    } else if (!std::strcmp(argv[i], "--prof-wall")) {
+      prof_wall = true;
     } else {
       usage(argv[0]);
     }
@@ -160,6 +193,11 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) trace::Tracer::ensure_writable(trace_path);
     if (!metrics_path.empty()) trace::Tracer::ensure_writable(metrics_path);
     if (!html_path.empty()) trace::Tracer::ensure_writable(html_path);
+    if (!prof_path.empty()) trace::Tracer::ensure_writable(prof_path);
+    if (!prof_speedscope_path.empty())
+      trace::Tracer::ensure_writable(prof_speedscope_path);
+    if (!prof_collapsed_path.empty())
+      trace::Tracer::ensure_writable(prof_collapsed_path);
 
     const topology::Machine machine = topology::Machine::gpc(nodes);
     const simmpi::LayoutSpec layout = parse_layout(layout_name);
@@ -170,6 +208,19 @@ int main(int argc, char** argv) {
     core::ReorderFramework::Options opts;
     opts.seed = seed;
     core::ReorderFramework framework(machine, opts);
+
+    // Self-profiling: the ambient profiler covers distance extraction, the
+    // mapping run and the simulated collective below.  The counting
+    // allocator is registered up front so mem.* deltas are attributed too.
+    const bool profiling = !prof_path.empty() ||
+                           !prof_speedscope_path.empty() ||
+                           !prof_collapsed_path.empty();
+    prof::Profiler profiler;
+    std::optional<prof::ScopedThreadProfiler> prof_ambient;
+    if (profiling) {
+      prof::link_memhook();
+      prof_ambient.emplace(&profiler);
+    }
 
     // Observability: one Tracer catches the whole run — the framework's
     // Fig 7 wall spans and mapping decision counters, then the collective's
@@ -219,11 +270,14 @@ int main(int argc, char** argv) {
     std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
                 rc.mapping_seconds, framework.distance_extraction_seconds());
 
-    if (tracer || record) {
+    if (tracer || record || profiling) {
       simmpi::Engine eng(rc.comm, simmpi::CostConfig{},
                          simmpi::ExecMode::Timed, msg_bytes, rc.comm.size());
-      eng.set_trace_sink(&tee);
-      run_traced_collective(eng, pattern, rc.oldrank);
+      if (tracer || record) eng.set_trace_sink(&tee);
+      {
+        prof::ProfScope pscope("simulate");
+        run_traced_collective(eng, pattern, rc.oldrank);
+      }
       std::printf("traced  : %s over %d ranks, %lld B blocks, %.1f us "
                   "simulated\n",
                   pattern_name.c_str(), rc.comm.size(), msg_bytes,
@@ -233,6 +287,8 @@ int main(int argc, char** argv) {
         std::printf("trace   : %s\n", trace_path.c_str());
       }
       if (!metrics_path.empty()) {
+        // Profiler totals ride the metrics CSV as prof.* counter rows.
+        if (profiling) prof::publish(profiler.snapshot(), tracer->metrics());
         tracer->write_metrics(metrics_path);
         std::printf("metrics : %s\n", metrics_path.c_str());
       }
@@ -251,7 +307,10 @@ int main(int argc, char** argv) {
         base_eng.set_trace_sink(&base_recorder);
         std::vector<Rank> identity(static_cast<std::size_t>(comm.size()));
         for (Rank j = 0; j < comm.size(); ++j) identity[j] = j;
-        run_traced_collective(base_eng, pattern, identity);
+        {
+          prof::ProfScope pscope("simulate:baseline");
+          run_traced_collective(base_eng, pattern, identity);
+        }
 
         viz::DashboardInputs in;
         in.title = "tarrmap dashboard";
@@ -268,6 +327,12 @@ int main(int argc, char** argv) {
         const report::ScheduleRecord& cand_record = recorder.record();
         in.candidate = &cand_record;
         in.candidate_label = mapper_name;
+        prof::Profile dash_profile;
+        if (profiling) {
+          dash_profile = profiler.snapshot();
+          in.profile = &dash_profile;
+          in.profile_label = "tarrmap run";
+        }
         const std::string html = viz::render_dashboard(in);
         std::FILE* f = std::fopen(html_path.c_str(), "wb");
         if (f == nullptr) throw Error("cannot write " + html_path);
@@ -276,6 +341,27 @@ int main(int argc, char** argv) {
         if (std::fclose(f) != 0 || !ok)
           throw Error("failed writing " + html_path);
         std::printf("html    : %s\n", html_path.c_str());
+      }
+    }
+    if (profiling) {
+      const prof::Profile profile = profiler.snapshot();
+      if (!prof_path.empty()) {
+        prof::ExportOptions popts;
+        popts.include_wall = prof_wall;
+        write_text_file(prof_path, prof::flat_csv(profile, popts));
+        std::printf("prof    : %s (%zu scopes%s)\n", prof_path.c_str(),
+                    profile.entries.size(),
+                    prof_wall ? ", wall columns on" : "");
+      }
+      if (!prof_speedscope_path.empty()) {
+        write_text_file(prof_speedscope_path,
+                        prof::speedscope_json(profile, "work", "tarrmap"));
+        std::printf("prof-ss : %s\n", prof_speedscope_path.c_str());
+      }
+      if (!prof_collapsed_path.empty()) {
+        write_text_file(prof_collapsed_path,
+                        prof::collapsed_stacks(profile, "work"));
+        std::printf("prof-cs : %s\n", prof_collapsed_path.c_str());
       }
     }
     if (!quiet) {

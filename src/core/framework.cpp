@@ -6,6 +6,7 @@
 #include "common/timer.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/heuristics.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::core {
 
@@ -45,6 +46,7 @@ ReorderedComm ReorderFramework::reorder(const simmpi::Communicator& comm,
 ReorderedComm ReorderFramework::reorder_with(const simmpi::Communicator& comm,
                                              const mapping::Mapper& mapper) {
   if (!opts_.enabled) return identity_reorder(comm);
+  prof::ProfScope pscope("reorder");
   const topology::DistanceMatrix& d = distances();
 
   WallTimer t;
@@ -73,6 +75,7 @@ ReorderedComm ReorderFramework::reorder_for_graph(
     const simmpi::Communicator& comm, const graph::WeightedGraph& pattern,
     GraphMapperKind kind) {
   if (!opts_.enabled) return identity_reorder(comm);
+  prof::ProfScope pscope("reorder");
   TARR_REQUIRE(pattern.num_vertices() == comm.size(),
                "reorder_for_graph: pattern size != communicator size");
   const topology::DistanceMatrix& d = distances();
@@ -108,6 +111,7 @@ ReorderedComm ReorderFramework::reorder_hierarchical(
     const simmpi::Communicator& comm, const mapping::Mapper& leader_mapper,
     const mapping::Mapper* intra_mapper) {
   if (!opts_.enabled) return identity_reorder(comm);
+  prof::ProfScope pscope("reorder");
   TARR_REQUIRE(comm.node_contiguous(),
                "reorder_hierarchical: communicator must be node-contiguous");
   const auto& m = *machine_;

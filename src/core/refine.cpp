@@ -7,6 +7,7 @@
 #include "common/permutation.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "prof/profiler.hpp"
 #include "simmpi/engine.hpp"
 #include "trace/sink.hpp"
 
@@ -20,6 +21,7 @@ RefineResult refine_by_simulation(const simmpi::Communicator& original,
   TARR_REQUIRE(start.comm.size() == p,
                "refine_by_simulation: size mismatch");
   TARR_REQUIRE(opts.max_swaps >= 0, "refine_by_simulation: negative budget");
+  prof::ProfScope pscope("refine");
   WallTimer timer;
   Rng rng(opts.seed);
 
@@ -56,6 +58,10 @@ RefineResult refine_by_simulation(const simmpi::Communicator& original,
     sink->add_count("refine.swaps_accepted", accepted);
     sink->add_count("refine.swaps_rejected", evaluations - 1 - accepted);
     sink->on_wall_span(trace::WallSpan{"refine", seconds});
+  }
+  if (prof::Profiler* prof = prof::thread_profiler()) {
+    prof->count("refine.evaluations", evaluations);
+    prof->count("refine.swaps_accepted", accepted);
   }
   return RefineResult{
       ReorderedComm{original.reordered(cores), std::move(oldrank),

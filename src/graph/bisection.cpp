@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "prof/profiler.hpp"
 #include "trace/sink.hpp"
 
 namespace tarr::graph {
@@ -45,6 +46,7 @@ BisectionResult bisect_subset(const WeightedGraph& g,
   const int n = static_cast<int>(subset.size());
   TARR_REQUIRE(g.finalized(), "bisect_subset: graph not finalized");
   TARR_REQUIRE(size0 >= 0 && size0 <= n, "bisect_subset: bad part size");
+  prof::ProfScope pscope("bisect");
 
   BisectionResult res;
   res.side.assign(n, 1);
@@ -114,6 +116,7 @@ BisectionResult bisect_subset(const WeightedGraph& g,
   // the cut by -(D[u] + D[v] - 2 w(u,v)); accept best positive-gain swap from
   // a bounded candidate window, repeat for a few passes.
   long long swaps = 0;
+  long long swap_evals = 0;  // candidate pairs scored (the FM-style inner loop)
   std::vector<double> d(n);
   auto recompute_d = [&](int i) {
     const int s = res.side[i];
@@ -134,6 +137,7 @@ BisectionResult bisect_subset(const WeightedGraph& g,
     for (int iter = 0; iter < n; ++iter) {
       double best_gain = 0.0;
       int bu = -1, bv = -1;
+      swap_evals += static_cast<long long>(w0) * w1;
       for (int a = 0; a < w0; ++a) {
         for (int b = 0; b < w1; ++b) {
           const int u = cand0[a], v = cand1[b];
@@ -183,6 +187,11 @@ BisectionResult bisect_subset(const WeightedGraph& g,
   if (trace::TraceSink* sink = trace::thread_sink()) {
     sink->add_count("bisection.calls", 1.0);
     sink->add_count("bisection.refine_swaps", static_cast<double>(swaps));
+  }
+  if (prof::Profiler* p = prof::thread_profiler()) {
+    p->count("bisection.calls", 1.0);
+    p->count("bisection.refine_swaps", static_cast<double>(swaps));
+    p->count("bisection.swap_evals", static_cast<double>(swap_evals));
   }
   return res;
 }

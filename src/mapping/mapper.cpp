@@ -4,12 +4,17 @@
 #include "common/error.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/heuristics.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::mapping {
 
 std::vector<int> Mapper::checked_map(const std::vector<int>& rank_to_slot,
                                      const topology::DistanceMatrix& d,
                                      Rng& rng) const {
+  // One scope per heuristic run: the single choke point through which every
+  // mapper (all five pattern heuristics, greedy-graph, scotch-like, the
+  // baselines) is invoked, so per-mapper work nests under "map:<name>".
+  prof::ProfScope pscope(std::string("map:") + name());
   std::vector<int> result = map(rank_to_slot, d, rng);
   check::verify_mapping(name(), rank_to_slot, result);
   return result;

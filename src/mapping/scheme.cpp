@@ -4,6 +4,7 @@
 
 #include "check/mapping_verifier.hpp"
 #include "common/error.hpp"
+#include "prof/profiler.hpp"
 #include "trace/sink.hpp"
 
 namespace tarr::mapping {
@@ -65,6 +66,10 @@ int MappingState::find_closest_to(Rank ref_rank) {
     if (trace::TraceSink* sink = trace::thread_sink())
       sink->add_count("mapping.tie_breaks", 1.0);
   }
+  if (prof::Profiler* p = prof::thread_profiler()) {
+    p->count("mapping.scan_steps", static_cast<double>(free_slots_.size()));
+    if (ties > 1) p->count("mapping.tie_breaks", 1.0);
+  }
   return chosen;
 }
 
@@ -85,6 +90,7 @@ void MappingState::assign(Rank rank, int slot) {
   ++mapped_;
   if (trace::TraceSink* sink = trace::thread_sink())
     sink->add_count("mapping.placements", 1.0);
+  prof::count("mapping.placements");
   // The swap-remove pool and its index must stay mutually consistent; a
   // bookkeeping slip here surfaces far away as a duplicate assignment.
   // O(p) per placement, so only in TARR_SLOW_CHECKS builds.

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "probe/congestion.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::probe {
 
@@ -46,6 +47,7 @@ Decision AdaptiveController::observe(int epoch,
                                      const fault::DegradedTopology& current,
                                      double observed_usec) {
   TARR_REQUIRE(observed_usec > 0.0, "controller: observed cost must be > 0");
+  prof::ProfScope pscope("probe.decide");
   Decision d;
   d.epoch = epoch;
   d.observed = observed_usec;
@@ -88,6 +90,7 @@ Decision AdaptiveController::observe(int epoch,
 
   if (sink_ != nullptr)
     sink_->add_count(std::string("probe.decision.") + to_string(d.action), 1.0);
+  prof::count(std::string("probe.decision.") + to_string(d.action));
   log_.push_back(d);
   return d;
 }

@@ -8,6 +8,7 @@
 #include "bench/csv.hpp"
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "prof/profiler.hpp"
 #include "topology/intranode.hpp"
 
 namespace tarr::probe {
@@ -83,6 +84,7 @@ ProbedDistances probe_distances(const topology::Machine& m,
   validate(cfg);
   TARR_REQUIRE(truth.size() == m.num_nodes(),
                "probe_distances: truth matrix size does not match machine");
+  prof::ProfScope pscope("probe.measure");
   WallTimer wall;
 
   const int nodes = m.num_nodes();
@@ -202,6 +204,11 @@ ProbedDistances probe_distances(const topology::Machine& m,
                     static_cast<double>(rep.unresolved_pairs()));
     sink->add_count("probe.cost_usec", rep.probe_cost_usec);
     sink->on_wall_span(trace::WallSpan{"probe", wall.seconds()});
+  }
+  if (prof::Profiler* p = prof::thread_profiler()) {
+    p->count("probe.pairs", static_cast<double>(rep.pairs));
+    p->count("probe.measurements", static_cast<double>(rep.measurements));
+    p->count("probe.retries", static_cast<double>(rep.retries));
   }
   return out;
 }

@@ -1,0 +1,92 @@
+#include "prof/memhook.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "prof/profiler.hpp"
+
+/// Replaced global allocation functions.  Counting is thread-local (no
+/// atomics on the hot path) and counts *requested* bytes: deterministic
+/// for deterministic code, unlike heap-geometry-dependent usable sizes.
+/// Deallocations are not tracked — scopes charge cumulative allocation
+/// pressure, not live bytes, which is the stable quantity across runs.
+
+namespace {
+
+thread_local unsigned long long t_bytes = 0;
+thread_local unsigned long long t_allocs = 0;
+
+void* counted_alloc(std::size_t size) {
+  t_bytes += size;
+  t_allocs += 1;
+  // malloc(0) may return nullptr legally; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_nothrow(std::size_t size) noexcept {
+  t_bytes += size;
+  t_allocs += 1;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  t_bytes += size;
+  t_allocs += 1;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+
+tarr::prof::MemCounters read_counters() {
+  tarr::prof::MemCounters c;
+  c.bytes = t_bytes;
+  c.allocs = t_allocs;
+  return c;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace tarr::prof {
+
+bool link_memhook() {
+  detail::set_mem_source(&read_counters);
+  return true;
+}
+
+}  // namespace tarr::prof

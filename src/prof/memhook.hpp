@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file memhook.hpp
+/// Counting allocator hook for tarr::prof.
+///
+/// The library `tarr_prof_memhook` replaces the global operator new/delete
+/// with thin forwarding wrappers that count requested bytes and allocation
+/// calls in thread-local counters.  Because replacing operator new affects
+/// a *whole binary*, the hook lives in its own archive that only the CLIs
+/// (and test_prof) link — the core libraries never pull it in, so library
+/// consumers keep the stock allocator.
+///
+/// Call `link_memhook()` once at startup: it anchors the hook's archive
+/// member (an unreferenced operator-new replacement would be dropped at
+/// link time) and registers the counter reader with the profiler, after
+/// which every ProfScope charges allocation deltas to its scope.  Byte
+/// counts are *requested* bytes, so they are deterministic for
+/// deterministic code — they ride the byte-identity contract with the
+/// work counters.
+///
+/// Binaries that never call link_memhook() still get the counting
+/// allocator if they link the archive and something anchors it; the
+/// counters just go unread.  Binaries that do not link the archive report
+/// mem.* as untracked (Profile::mem_tracked == false).
+
+namespace tarr::prof {
+
+/// Anchor the counting allocator and register its reader with the
+/// profiler.  Idempotent; returns true (so it can initialize a static).
+bool link_memhook();
+
+}  // namespace tarr::prof

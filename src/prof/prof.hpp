@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file prof.hpp
+/// Umbrella header for tarr::prof (docs/OBSERVABILITY.md, "Profiling").
+
+#include "prof/export.hpp"     // IWYU pragma: export
+#include "prof/memhook.hpp"    // IWYU pragma: export
+#include "prof/profiler.hpp"   // IWYU pragma: export
+#include "prof/publish.hpp"    // IWYU pragma: export
+#include "prof/scaling.hpp"    // IWYU pragma: export

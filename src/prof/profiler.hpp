@@ -1,0 +1,190 @@
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file profiler.hpp
+/// tarr::prof — deterministic self-profiling of the reproduction itself
+/// (see docs/OBSERVABILITY.md, "Profiling").
+///
+/// Where tarr::trace makes the *simulated machine* legible, tarr::prof
+/// makes the *reproduction's own hot paths* legible: bisection, FM
+/// refinement, distance extraction, cost-model pricing, the engine stage
+/// loop, and the probing controller.  It is the flat-profile evidence the
+/// ROADMAP's parallelization item is judged against.
+///
+/// Two metric families, never mixed in one export column:
+///  * deterministic work counters — swap evaluations, matrix cells filled,
+///    transfers priced, bytes allocated through the counting hook.  Same
+///    seed, same counters, byte for byte; these ride the perf gate.
+///  * wall-clock seconds — measured per scope but exported only on request
+///    (ExportOptions::include_wall), mirroring `--trace-wall`.
+///
+/// Cost discipline mirrors trace's ambient-sink pattern: instrumented code
+/// consults a thread-local `Profiler*` that defaults to nullptr, so every
+/// disabled site is one thread-local load and a branch.  Profiling observes
+/// the computation without participating in it — enabling it must not
+/// change any simulated cost (asserted by tests/test_prof.cpp).
+
+namespace tarr::prof {
+
+/// Snapshot of the process-wide counting allocator (prof/memhook.cpp).
+/// Zero until `link_memhook()` registers the hook's reader.
+struct MemCounters {
+  unsigned long long bytes = 0;   ///< requested bytes, cumulative
+  unsigned long long allocs = 0;  ///< allocation calls, cumulative
+};
+
+/// Self + subtree value of one metric at one scope (Profile is the
+/// aggregated export form; totals are exact sums by construction).
+struct ProfileMetric {
+  double self = 0.0;
+  double total = 0.0;
+};
+
+/// One scope node of an aggregated profile, preorder-flattened.
+struct ProfileEntry {
+  std::string name;   ///< scope name ("(root)" for the implicit root)
+  std::string path;   ///< "/"-joined path from root, "" for the root
+  int parent = -1;    ///< index of parent entry, -1 for the root
+  int depth = 0;      ///< root is 0
+  long long calls = 0;
+  double wall_self = 0.0;   ///< seconds (total - sum of child totals, exact)
+  double wall_total = 0.0;  ///< seconds, inclusive
+  long long mem_bytes_self = 0;
+  long long mem_bytes_total = 0;
+  long long mem_allocs_self = 0;
+  long long mem_allocs_total = 0;
+  double work_self = 0.0;   ///< sum of all counter deltas charged here
+  double work_total = 0.0;
+  /// Named deterministic counters (sorted by name — std::map).
+  std::map<std::string, ProfileMetric> counters;
+};
+
+/// Aggregated scope tree, ready for export (prof/export.hpp) or
+/// rendering (viz/profile.hpp).  entries[0] is always the root.
+struct Profile {
+  std::vector<ProfileEntry> entries;
+  bool mem_tracked = false;  ///< the counting allocator hook was active
+
+  /// Root total of a named counter (0 if never counted).
+  double counter_total(const std::string& name) const;
+  /// First entry whose path equals `path` (nullptr if absent).
+  const ProfileEntry* find(const std::string& path) const;
+};
+
+/// Hierarchical scoped profiler.  Scopes aggregate by (parent, name): the
+/// second `ProfScope("bisect")` under the same parent accumulates into the
+/// same node rather than growing the tree, so profiles stay small and
+/// deterministic regardless of call counts.  Recursive re-entry of a name
+/// nests (a "bisect" child under "bisect") instead of double-counting
+/// inclusive time.  Not thread-safe; one Profiler per thread, merged with
+/// merge() afterwards.
+class Profiler {
+ public:
+  Profiler();
+
+  /// Open a child scope of the current scope (creating the node on first
+  /// entry, in first-entry order — deterministic for deterministic code).
+  void enter(const std::string& name);
+  /// Close the innermost open scope, charging wall time and allocator
+  /// deltas to it.
+  void exit_scope();
+  /// Charge a named counter delta (and the aggregate "work" metric) to the
+  /// innermost open scope, or to the root when no scope is open.
+  void count(const std::string& name, double delta);
+
+  /// Open scopes right now (0 at rest; snapshot/merge require 0).
+  int open_scopes() const { return static_cast<int>(stack_.size()); }
+
+  /// Fold another profiler's tree into this one, matching scopes by path.
+  /// Both profilers must be at rest.  Used to combine per-thread ambient
+  /// profiles.
+  void merge(const Profiler& other);
+
+  /// Aggregate the tree into its export form.  Totals are computed so that
+  /// total == self + sum(child totals) holds exactly (EXPECT_EQ-exact) for
+  /// every metric.
+  Profile snapshot() const;
+
+ private:
+  struct Node {
+    std::string name;
+    int parent = -1;
+    std::vector<int> children;             // first-entry order
+    std::map<std::string, int> by_name;    // child name -> node index
+    long long calls = 0;
+    double wall_total = 0.0;               // inclusive seconds
+    long long mem_bytes_total = 0;         // inclusive, via memhook
+    long long mem_allocs_total = 0;
+    double work_self = 0.0;
+    std::map<std::string, double> counts;  // self values
+  };
+  struct Open {
+    int node = 0;
+    std::chrono::steady_clock::time_point t0;
+    MemCounters mem0;
+  };
+
+  void merge_node(int dst, const Profiler& other, int src);
+
+  std::vector<Node> nodes_;  // nodes_[0] = implicit root
+  std::vector<Open> stack_;
+};
+
+/// Ambient per-thread profiler, mirroring trace::thread_sink(): the mapping
+/// heuristics, bisection, and cost model are pure functions of their inputs
+/// and cannot carry a profiler pointer without polluting their signatures.
+/// nullptr (the default) disables profiling.
+Profiler* thread_profiler();
+void set_thread_profiler(Profiler* p);
+
+/// RAII installer for the thread profiler; restores the previous one so
+/// nested installations compose.
+class ScopedThreadProfiler {
+ public:
+  explicit ScopedThreadProfiler(Profiler* p);
+  ~ScopedThreadProfiler();
+  ScopedThreadProfiler(const ScopedThreadProfiler&) = delete;
+  ScopedThreadProfiler& operator=(const ScopedThreadProfiler&) = delete;
+
+ private:
+  Profiler* prev_;
+};
+
+/// RAII scope against the *ambient* profiler.  The profiler pointer is
+/// captured at construction, so installing/removing the thread profiler
+/// mid-scope cannot unbalance the stack.
+class ProfScope {
+ public:
+  explicit ProfScope(const std::string& name) : prof_(thread_profiler()) {
+    if (prof_ != nullptr) prof_->enter(name);
+  }
+  ~ProfScope() {
+    if (prof_ != nullptr) prof_->exit_scope();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler* prof_;
+};
+
+/// Charge a counter against the ambient profiler (no-op when disabled;
+/// one thread-local load + branch).
+inline void count(const std::string& name, double delta = 1.0) {
+  if (Profiler* p = thread_profiler()) p->count(name, delta);
+}
+
+namespace detail {
+/// Reader of the process-wide allocation counters, registered by
+/// prof::link_memhook().  nullptr when the counting allocator is not
+/// linked into the binary.
+using MemSnapshotFn = MemCounters (*)();
+void set_mem_source(MemSnapshotFn fn);
+MemSnapshotFn mem_source();
+}  // namespace detail
+
+}  // namespace tarr::prof

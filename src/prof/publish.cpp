@@ -1,0 +1,23 @@
+#include "prof/publish.hpp"
+
+namespace tarr::prof {
+
+void publish(const Profile& p, trace::MetricsRegistry& reg) {
+  if (p.entries.empty()) return;
+  const ProfileEntry& root = p.entries.front();
+  for (const auto& [name, metric] : root.counters)
+    reg.add_count("prof." + name, metric.total);
+  if (p.mem_tracked) {
+    reg.add_count("prof.mem.bytes", static_cast<double>(root.mem_bytes_total));
+    reg.add_count("prof.mem.allocs",
+                  static_cast<double>(root.mem_allocs_total));
+  }
+  for (const ProfileEntry& e : p.entries) {
+    if (e.depth != 1) continue;
+    reg.add_count("prof.scope." + e.name + ".calls",
+                  static_cast<double>(e.calls));
+    reg.add_count("prof.scope." + e.name + ".work", e.work_total);
+  }
+}
+
+}  // namespace tarr::prof

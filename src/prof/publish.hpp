@@ -1,0 +1,17 @@
+#pragma once
+
+#include "prof/profiler.hpp"
+#include "trace/metrics.hpp"
+
+/// \file publish.hpp
+/// Bridge from a finished profile into the trace-layer MetricsRegistry, so
+/// `--metrics` CSVs pick up profiler totals with no new plumbing: every
+/// counter appears as a `prof.<name>` counter row, each top-level scope as
+/// `prof.scope.<name>.calls` / `.work`, and (when the counting allocator
+/// is linked) `prof.mem.bytes` / `prof.mem.allocs`.
+
+namespace tarr::prof {
+
+void publish(const Profile& p, trace::MetricsRegistry& reg);
+
+}  // namespace tarr::prof

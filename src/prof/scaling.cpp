@@ -1,0 +1,64 @@
+#include "prof/scaling.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tarr::prof {
+
+PowerFit fit_power_law(const std::vector<ScalingPoint>& points) {
+  PowerFit fit;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (const ScalingPoint& p : points) {
+    if (p.n <= 0.0 || p.value <= 0.0) continue;
+    xs.push_back(std::log(p.n));
+    ys.push_back(std::log(p.value));
+  }
+  fit.points = static_cast<int>(xs.size());
+  if (xs.size() < 2) return fit;
+
+  const double n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;  // all sizes identical
+  fit.exponent = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / n;
+  fit.coeff = std::exp(intercept);
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double mean_y = sy / n;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = fit.exponent * xs[i] + intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - mean_y) * (ys[i] - mean_y);
+  }
+  fit.r2 = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  fit.valid = true;
+  return fit;
+}
+
+std::string classify_complexity(const PowerFit& fit) {
+  if (!fit.valid) return "n/a";
+  const double e = fit.exponent;
+  if (e < 0.1) return "O(1)";
+  static const struct {
+    double exponent;
+    const char* label;
+  } kBuckets[] = {
+      {0.5, "O(n^0.5)"}, {1.0, "O(n)"},     {1.5, "O(n^1.5)"},
+      {2.0, "O(n^2)"},   {2.5, "O(n^2.5)"}, {3.0, "O(n^3)"},
+  };
+  for (const auto& b : kBuckets)
+    if (std::fabs(e - b.exponent) <= 0.25) return b.label;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "O(n^%.2f)", e);
+  return buf;
+}
+
+}  // namespace tarr::prof

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file scaling.hpp
+/// Log-log power-law fitting for the scaling-curve harness: each profiled
+/// phase is swept over rank counts and its deterministic work counter is
+/// fitted as value ≈ coeff * n^exponent.  The fitted exponent classifies
+/// the phase's *empirical* complexity (O(n), O(n log n), O(n^2), ...) —
+/// the baseline the ROADMAP's parallelization item is measured against
+/// (docs/OBSERVABILITY.md, "Scaling curves").
+
+namespace tarr::prof {
+
+/// One sweep sample: problem size n (ranks) and the counter value at n.
+struct ScalingPoint {
+  double n = 0.0;
+  double value = 0.0;
+};
+
+/// Least-squares fit of log(value) = exponent*log(n) + log(coeff).
+/// Requires >= 2 points with n > 0 and value > 0; `valid` is false
+/// otherwise (points with value == 0 are skipped — an all-zero counter has
+/// no slope).
+struct PowerFit {
+  double exponent = 0.0;
+  double coeff = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination in log space
+  int points = 0;   ///< samples used
+  bool valid = false;
+};
+
+PowerFit fit_power_law(const std::vector<ScalingPoint>& points);
+
+/// Human label for a fitted exponent: "O(1)" below 0.1, then the nearest of
+/// O(n^0.5), O(n), O(n^1.5), O(n^2), O(n^2.5), O(n^3); "O(n^x.xx)" beyond.
+/// Invalid fits classify as "n/a".
+std::string classify_complexity(const PowerFit& fit);
+
+}  // namespace tarr::prof

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::simmpi {
 
@@ -91,7 +92,9 @@ Usec CostModel::finish_stage() {
   }
 
   Usec stage = 0.0;
+  double priced_bytes = 0.0;
   for (const Pending& t : pending_) {
+    priced_bytes += static_cast<double>(t.bytes);
     const NodeId na = m.node_of_core(t.src);
     const NodeId nb = m.node_of_core(t.dst);
     const double own = static_cast<double>(t.bytes);
@@ -157,6 +160,12 @@ Usec CostModel::finish_stage() {
           t.src, t.dst, t.bytes, cost, channel, contention, uncontended});
     }
     stage = std::max(stage, cost);
+  }
+
+  if (prof::Profiler* p = prof::thread_profiler()) {
+    p->count("cost.stages_priced", 1.0);
+    p->count("cost.transfers_priced", static_cast<double>(pending_.size()));
+    p->count("cost.bytes_priced", priced_bytes);
   }
 
   last_stats_ = StageStats{};

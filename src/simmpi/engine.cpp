@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/permutation.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::simmpi {
 
@@ -228,6 +229,10 @@ Usec Engine::end_stage() {
       std::max(peak_link_bytes_, cost_.last_stage_stats().max_link_bytes);
   if (sink_ != nullptr) emit_stage_trace(stage_start, stage, retry_wait);
   if (observer_) observer_(stages_executed_, transfers, stage);
+  if (prof::Profiler* p = prof::thread_profiler()) {
+    p->count("engine.stages", 1.0);
+    p->count("engine.transfers", static_cast<double>(transfers));
+  }
   ++stages_executed_;
   return stage;
 }
@@ -279,6 +284,7 @@ void Engine::repeat_last_stage(int extra) {
         last_stage_cost_ * static_cast<double>(extra),
         last_stage_retry_wait_});
   }
+  if (extra > 0) prof::count("engine.stage_repeats", extra);
   total_ += last_stage_cost_ * static_cast<double>(extra);
 }
 

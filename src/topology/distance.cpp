@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "prof/profiler.hpp"
 
 namespace tarr::topology {
 
@@ -69,6 +70,8 @@ DistanceMatrix DistanceMatrix::load(const std::string& path) {
 DistanceMatrix extract_distances(const Machine& m, const DistanceConfig& cfg) {
   const int total = m.total_cores();
   const int cpn = m.cores_per_node();
+  prof::ProfScope pscope("distance-extraction");
+  prof::count("distance.cells", static_cast<double>(total) * total);
   DistanceMatrix d(total);
 
   // Intra-node block template: identical for every node, computed once.
@@ -108,6 +111,9 @@ DistanceMatrix extract_distances(const Machine& m, const DistanceConfig& cfg) {
 
 DistanceMatrix extract_node_distances(const Machine& m,
                                       const DistanceConfig& cfg) {
+  prof::ProfScope pscope("distance-extraction:node");
+  prof::count("distance.cells",
+              static_cast<double>(m.num_nodes()) * m.num_nodes());
   DistanceMatrix d(m.num_nodes());
   const Router& router = m.router();
   for (NodeId a = 0; a < m.num_nodes(); ++a)
@@ -123,6 +129,8 @@ DistanceMatrix extract_node_distances(const Machine& m,
 DistanceMatrix extract_intranode_distances(const Machine& m,
                                            const DistanceConfig& cfg) {
   const int cpn = m.cores_per_node();
+  prof::ProfScope pscope("distance-extraction:intra");
+  prof::count("distance.cells", static_cast<double>(cpn) * cpn);
   DistanceMatrix d(cpn);
   for (int a = 0; a < cpn; ++a) {
     for (int b = a + 1; b < cpn; ++b) {

@@ -7,6 +7,7 @@
 #include "report/critical_path.hpp"
 #include "report/diff.hpp"
 #include "viz/matrix.hpp"
+#include "viz/profile.hpp"
 #include "viz/timeline.hpp"
 #include "viz/topo.hpp"
 
@@ -178,6 +179,15 @@ std::string render_dashboard(const DashboardInputs& in) {
         "channel classes, from tarr::report::diff_runs.",
         diff_body);
   }
+
+  // Reproduction overheads (tarr::prof self-profile).
+  if (in.profile != nullptr && !in.profile->entries.empty())
+    page.add_section(
+        "Overheads",
+        "What the reproduction itself spent per phase (tarr::prof work "
+        "counters — deterministic, so this section is byte-stable across "
+        "same-seed runs; wall time lives in the --prof CSV exports).",
+        render_profile_section(*in.profile, in.profile_label));
 
   // Trajectory.
   if (!in.trend.empty())

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "prof/profiler.hpp"
 #include "report/record.hpp"
 #include "report/snapshot.hpp"
 #include "topology/machine.hpp"
@@ -34,6 +35,11 @@ struct DashboardInputs {
   /// Optional snapshot trajectory (see trend.hpp).
   std::vector<TrendSet> trend;
   report::CompareOptions trend_opts;
+
+  /// Optional tarr::prof self-profile of the run that produced the records:
+  /// enables the "Overheads" section (viz/profile.hpp).
+  const prof::Profile* profile = nullptr;
+  std::string profile_label = "this run";
 };
 
 /// Render the full page.  Throws tarr::Error when machine/baseline are

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "prof/profiler.hpp"
+
+/// \file profile.hpp
+/// The "Overheads" dashboard section: a tarr::prof flat profile rendered as
+/// an indented scope table (calls, work self/total, share-of-total bars)
+/// plus the per-scope counter detail, in the paper's Fig. 7 spirit — what
+/// the *reproduction* spends per phase, next to what the *simulated
+/// machine* spends.  Deterministic: only counter metrics are shown (wall
+/// time stays in the opt-in CSV exports), so same-seed dashboards remain
+/// byte-identical.
+
+namespace tarr::viz {
+
+/// Section body HTML for one profile (empty profile -> empty string).
+std::string render_profile_section(const prof::Profile& p,
+                                   const std::string& label);
+
+}  // namespace tarr::viz
