@@ -12,6 +12,7 @@
 //            [--trace-wall] [--report] [--html out.html]
 //            [--prof out.csv] [--prof-speedscope out.json]
 //            [--prof-collapsed out.txt] [--prof-wall]
+//            [--insight out.txt] [--out-dir DIR]
 //
 // With --trace/--metrics/--report/--html the tool also *runs* the
 // pattern-matched collective (Timed engine, --msg bytes per block) over the
@@ -34,10 +35,21 @@
 // opts wall-clock columns into the CSV, mirroring --trace-wall.  Profiler
 // totals are also published as prof.* rows into the --metrics CSV, and
 // --html gains an "Overheads" section.
+//
+// With --insight the tool diagnoses the traced run (tarr::insight):
+// stragglers, load imbalance, fairness and critical-path pathologies with
+// exact evidence, written as text to the given path; --html gains a
+// "Diagnosis" section over the baseline run.
+//
+// --out-dir DIR derives every artifact path from one flag — DIR/trace.json,
+// DIR/metrics.csv, DIR/report.txt, DIR/dashboard.html, DIR/prof.csv,
+// DIR/insight.txt — creating DIR if needed; an explicit per-artifact flag
+// overrides its derived path.  All paths are probed up front.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +57,7 @@
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
 #include "core/topoallgather.hpp"
+#include "insight/insight.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/mapcost.hpp"
 #include "prof/prof.hpp"
@@ -66,7 +79,8 @@ using namespace tarr;
                "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
                "[--trace-wall] [--report] [--html out.html] "
                "[--prof out.csv] [--prof-speedscope out.json] "
-               "[--prof-collapsed out.txt] [--prof-wall]\n",
+               "[--prof-collapsed out.txt] [--prof-wall] "
+               "[--insight out.txt] [--out-dir DIR]\n",
                argv0);
   std::exit(2);
 }
@@ -138,6 +152,7 @@ int main(int argc, char** argv) {
   long long msg_bytes = 16 * 1024;
   std::string trace_path, metrics_path, html_path;
   std::string prof_path, prof_speedscope_path, prof_collapsed_path;
+  std::string insight_path, out_dir, report_path;
   bool trace_wall = false;
   bool prof_wall = false;
   bool report = false;
@@ -181,12 +196,30 @@ int main(int argc, char** argv) {
       prof_collapsed_path = next();
     } else if (!std::strcmp(argv[i], "--prof-wall")) {
       prof_wall = true;
+    } else if (!std::strcmp(argv[i], "--insight")) {
+      insight_path = next();
+    } else if (!std::strcmp(argv[i], "--out-dir")) {
+      out_dir = next();
     } else {
       usage(argv[0]);
     }
   }
 
   try {
+    // --out-dir derives every artifact path from one flag; explicit
+    // per-artifact flags override their derived path.
+    if (!out_dir.empty()) {
+      std::filesystem::create_directories(out_dir);
+      const std::string d = out_dir + "/";
+      if (trace_path.empty()) trace_path = d + "trace.json";
+      if (metrics_path.empty()) metrics_path = d + "metrics.csv";
+      if (html_path.empty()) html_path = d + "dashboard.html";
+      if (prof_path.empty()) prof_path = d + "prof.csv";
+      if (insight_path.empty()) insight_path = d + "insight.txt";
+      report_path = d + "report.txt";
+      report = true;
+    }
+
     // Fail fast on unwritable output paths: the reorder + simulation below
     // can run for minutes at scale, and discovering a typo'd --trace path
     // only afterwards throws that work away.
@@ -198,6 +231,8 @@ int main(int argc, char** argv) {
       trace::Tracer::ensure_writable(prof_speedscope_path);
     if (!prof_collapsed_path.empty())
       trace::Tracer::ensure_writable(prof_collapsed_path);
+    if (!insight_path.empty()) trace::Tracer::ensure_writable(insight_path);
+    if (!report_path.empty()) trace::Tracer::ensure_writable(report_path);
 
     const topology::Machine machine = topology::Machine::gpc(nodes);
     const simmpi::LayoutSpec layout = parse_layout(layout_name);
@@ -235,7 +270,7 @@ int main(int argc, char** argv) {
     // --report/--html record the run's schedule structure alongside (or
     // instead of) the tracer: --report prints a critical-path analysis,
     // --html renders the dashboard.
-    const bool record = report || !html_path.empty();
+    const bool record = report || !html_path.empty() || !insight_path.empty();
     report::ScheduleRecorder recorder;
     trace::TeeSink tee(tracer.get(), record ? &recorder : nullptr);
 
@@ -295,7 +330,21 @@ int main(int argc, char** argv) {
       if (report) {
         const auto path =
             report::analyze_critical_path(recorder.record(), machine);
-        std::fputs(report::render_critical_path(path).c_str(), stdout);
+        const std::string rendered = report::render_critical_path(path);
+        std::fputs(rendered.c_str(), stdout);
+        if (!report_path.empty()) {
+          write_text_file(report_path, rendered);
+          std::printf("report  : %s\n", report_path.c_str());
+        }
+      }
+      if (!insight_path.empty()) {
+        // Diagnose the reordered run just traced; the tracer's metrics
+        // registry (when present) contributes distribution-tail findings.
+        const insight::Diagnosis diag = insight::diagnose(
+            recorder.record(), machine, insight::DiagnoseOptions{},
+            tracer ? &tracer->metrics() : nullptr);
+        write_text_file(insight_path, insight::render_findings(diag));
+        std::printf("insight : %s\n", insight_path.c_str());
       }
       if (!html_path.empty()) {
         // Baseline run of the same pattern over the *unreordered*
@@ -333,6 +382,11 @@ int main(int argc, char** argv) {
           in.profile = &dash_profile;
           in.profile_label = "tarrmap run";
         }
+        // Diagnose the *baseline* run: the dashboard's before/after story
+        // starts from what is wrong with the un-reordered layout.
+        const insight::Diagnosis base_diag =
+            insight::diagnose(base_record, machine);
+        in.diagnosis = &base_diag;
         const std::string html = viz::render_dashboard(in);
         std::FILE* f = std::fopen(html_path.c_str(), "wb");
         if (f == nullptr) throw Error("cannot write " + html_path);

@@ -1,0 +1,12 @@
+#pragma once
+
+/// \file insight.hpp
+/// Umbrella header for tarr::insight — distribution-grade telemetry,
+/// imbalance analytics, the run-diagnosis engine, and trajectory
+/// change-point detection.  See docs/OBSERVABILITY.md, "Distributions &
+/// run diagnosis".
+
+#include "insight/changepoint.hpp"  // IWYU pragma: export
+#include "insight/findings.hpp"    // IWYU pragma: export
+#include "insight/histogram.hpp"   // IWYU pragma: export
+#include "insight/imbalance.hpp"   // IWYU pragma: export

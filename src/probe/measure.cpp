@@ -203,6 +203,17 @@ ProbedDistances probe_distances(const topology::Machine& m,
     sink->add_count("probe.unresolved_pairs",
                     static_cast<double>(rep.unresolved_pairs()));
     sink->add_count("probe.cost_usec", rep.probe_cost_usec);
+    // Per-pair relative residuals feed a distribution: the probe summary
+    // already reports rms/max, but whether re-mapping on probed distances
+    // pays hinges on the residual *tail* (p99), which only a histogram
+    // preserves.
+    for (const PairProbe& pp : rep.pair_stats) {
+      if (!pp.resolved || pp.truth <= 0.0f) continue;
+      const double rel = std::fabs(static_cast<double>(pp.estimate) -
+                                   static_cast<double>(pp.truth)) /
+                         static_cast<double>(pp.truth);
+      sink->observe("probe.pair_rel_error", rel);
+    }
     sink->on_wall_span(trace::WallSpan{"probe", wall.seconds()});
   }
   if (prof::Profiler* p = prof::thread_profiler()) {

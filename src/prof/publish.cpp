@@ -18,6 +18,13 @@ void publish(const Profile& p, trace::MetricsRegistry& reg) {
                   static_cast<double>(e.calls));
     reg.add_count("prof.scope." + e.name + ".work", e.work_total);
   }
+  // Distribution of scope self-times across the whole tree (root excluded:
+  // its self-time is the unattributed remainder, not a scope) — the shape
+  // tells hot-scope findings whether one phase dominates or many share.
+  for (const ProfileEntry& e : p.entries) {
+    if (e.depth < 1 || e.work_self < 0.0) continue;
+    reg.observe("prof.scope_self_work", e.work_self);
+  }
 }
 
 }  // namespace tarr::prof

@@ -8,7 +8,9 @@
 /// `--metrics` CSVs pick up profiler totals with no new plumbing: every
 /// counter appears as a `prof.<name>` counter row, each top-level scope as
 /// `prof.scope.<name>.calls` / `.work`, and (when the counting allocator
-/// is linked) `prof.mem.bytes` / `prof.mem.allocs`.
+/// is linked) `prof.mem.bytes` / `prof.mem.allocs`.  Scope self-times
+/// additionally feed the `prof.scope_self_work` distribution (dist rows),
+/// so the hot-scope diagnosis can see the shape, not just the totals.
 
 namespace tarr::prof {
 

@@ -47,7 +47,27 @@ void MetricsRegistry::observe_transfer(const TransferEvent& e) {
 }
 
 void MetricsRegistry::add_count(const std::string& name, double delta) {
+  if (!std::isfinite(delta))
+    throw Error("MetricsRegistry::add_count('" + name +
+                "'): non-finite delta rejected (a NaN/Inf folded into a "
+                "counter would poison every later delta)");
   counters_[name] += delta;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  observe_n(name, value, 1);
+}
+
+void MetricsRegistry::observe_n(const std::string& name, double value,
+                                long long n) {
+  if (!std::isfinite(value))
+    throw Error("MetricsRegistry::observe('" + name +
+                "'): non-finite sample rejected");
+  if (value < 0.0)
+    throw Error("MetricsRegistry::observe('" + name +
+                "'): negative sample rejected (distributions hold "
+                "durations, bytes and residuals, all >= 0)");
+  dists_[name].record_n(value, n);
 }
 
 double MetricsRegistry::count(const std::string& name) const {
@@ -55,9 +75,15 @@ double MetricsRegistry::count(const std::string& name) const {
   return it == counters_.end() ? 0.0 : it->second;
 }
 
+const insight::Histogram* MetricsRegistry::distribution(
+    const std::string& name) const {
+  const auto it = dists_.find(name);
+  return it == dists_.end() ? nullptr : &it->second;
+}
+
 bool MetricsRegistry::empty() const {
   return link_heat_.empty() && qpi_heat_.empty() && channels_.empty() &&
-         counters_.empty();
+         counters_.empty() && dists_.empty();
 }
 
 std::string MetricsRegistry::csv() const {
@@ -84,6 +110,28 @@ std::string MetricsRegistry::csv() const {
   }
   for (const auto& [name, value] : counters_) {
     w.add_row({"counter", name, "", fmt(value), ""});
+  }
+  // Distribution rows append strictly after the legacy categories so a
+  // registry without distributions serializes byte-identically to before.
+  for (const auto& [name, h] : dists_) {
+    w.add_row({"dist", name, fmt(static_cast<double>(h.count())),
+               fmt(h.approx_sum()), fmt(h.max())});
+    w.add_row({"dist", name + " min", "", fmt(h.min()), ""});
+    for (const auto& spec : insight::kStandardQuantiles) {
+      w.add_row({"dist", name + " " + spec.label, "", fmt(h.quantile(spec.q)),
+                 ""});
+    }
+  }
+  for (const auto& [name, h] : dists_) {
+    if (h.zero_count() > 0) {
+      w.add_row({"distbucket", name + " zero",
+                 fmt(static_cast<double>(h.zero_count())), "0", "0"});
+    }
+    for (const auto& b : h.buckets()) {
+      w.add_row({"distbucket", name + " b" + std::to_string(b.index),
+                 fmt(static_cast<double>(b.count)), fmt(b.lower),
+                 fmt(b.upper)});
+    }
   }
   return w.to_string();
 }

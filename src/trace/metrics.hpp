@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/types.hpp"
+#include "insight/histogram.hpp"
 #include "trace/sink.hpp"
 
 /// \file metrics.hpp
@@ -18,12 +19,21 @@
 ///     class (same-complex / same-socket / cross-socket / network / local);
 ///   * named counters — decision counters (mapping placements, refinement
 ///     swaps, selector picks) and fault counters (drops, corruptions,
-///     retransmissions).
+///     retransmissions);
+///   * named distributions — deterministic HDR-style histograms
+///     (insight::Histogram) of per-stage durations, per-transfer
+///     serialization/stall/retransmission splits, probe residuals and prof
+///     scope self-times, fed via observe().
 ///
 /// Snapshots serialize to RFC-4180 CSV through the existing
 /// tarr::bench::CsvWriter with the fixed schema
 ///   category,key,count,total,peak
 /// (see docs/OBSERVABILITY.md for row semantics per category).
+/// Distribution rows APPEND after the pre-existing categories — a registry
+/// with no distributions serializes byte-identically to the old schema:
+///   dist,<name>,count,approx_sum,max        (summary)
+///   dist,<name> min|p50|p90|p99|p999,,value,  (order statistics)
+///   distbucket,<name> zero|b<idx>,count,lower,upper  (exact bucket counts)
 
 namespace tarr::trace {
 
@@ -37,11 +47,28 @@ class MetricsRegistry {
   /// Fold one priced transfer.
   void observe_transfer(const TransferEvent& e);
 
-  /// Additive named counter.
+  /// Additive named counter.  Rejects non-finite deltas with a structured
+  /// tarr::Error naming the counter — a NaN folded in silently would poison
+  /// every later delta and the CSV bytes downstream.
   void add_count(const std::string& name, double delta);
+
+  /// One sample of the named distribution.  Rejects non-finite or negative
+  /// values with a structured tarr::Error naming the distribution.
+  void observe(const std::string& name, double value);
+
+  /// `n` identical samples (repeat-compressed stages fold in exactly).
+  void observe_n(const std::string& name, double value, long long n);
 
   /// Value of a named counter (0 when never incremented).
   double count(const std::string& name) const;
+
+  /// The named distribution, or nullptr when never observed.
+  const insight::Histogram* distribution(const std::string& name) const;
+
+  /// All distributions in deterministic name order.
+  const std::map<std::string, insight::Histogram>& distributions() const {
+    return dists_;
+  }
 
   /// True when nothing has been recorded.
   bool empty() const;
@@ -69,6 +96,7 @@ class MetricsRegistry {
   std::map<std::pair<int, int>, Heat> qpi_heat_;   ///< (node, dir) -> heat
   std::map<int, ChannelStat> channels_;            ///< Channel -> stat
   std::map<std::string, double> counters_;
+  std::map<std::string, insight::Histogram> dists_;
 };
 
 }  // namespace tarr::trace

@@ -63,6 +63,11 @@ void TeeSink::add_count(const std::string& name, double delta) {
   if (b_) b_->add_count(name, delta);
 }
 
+void TeeSink::observe(const std::string& name, double value) {
+  if (a_) a_->observe(name, value);
+  if (b_) b_->observe(name, value);
+}
+
 namespace {
 thread_local TraceSink* g_thread_sink = nullptr;
 }  // namespace

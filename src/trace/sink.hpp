@@ -166,6 +166,15 @@ class TraceSink {
     (void)name;
     (void)delta;
   }
+
+  /// One sample of a named distribution (per-pair probe residuals, prof
+  /// scope self-times, anything whose *shape* matters).  Concrete sinks
+  /// feed a deterministic histogram (MetricsRegistry::observe); the default
+  /// is a no-op so emission sites stay one pointer check.
+  virtual void observe(const std::string& name, double value) {
+    (void)name;
+    (void)value;
+  }
 };
 
 /// A sink that observes nothing (identical to having no sink installed).
@@ -188,6 +197,7 @@ class TeeSink final : public TraceSink {
   void on_wall_span(const WallSpan& s) override;
   void on_time(const TimeEvent& e) override;
   void add_count(const std::string& name, double delta) override;
+  void observe(const std::string& name, double value) override;
 
  private:
   TraceSink* a_;

@@ -87,6 +87,11 @@ void Tracer::on_stage(const StageEvent& e) {
     metrics_.add_count("engine.stages", e.repeats);
     metrics_.add_count("engine.transfers",
                        static_cast<double>(e.transfers) * e.repeats);
+    // StageEvent.duration for a repeat-compressed event is the TOTAL across
+    // repeats; the distribution wants the per-execution cost, weighted by
+    // how many executions it stands for.
+    metrics_.observe_n("stage.duration",
+                       e.duration / static_cast<double>(e.repeats), e.repeats);
   }
 }
 
@@ -110,7 +115,20 @@ void Tracer::on_transfer(const TransferEvent& e) {
     spans_.push_back({kPidSim, kTidRank0 + static_cast<int>(e.src_rank), name,
                       e.start, e.duration, std::move(args)});
   }
-  if (opts_.metrics) metrics_.observe_transfer(e);
+  if (opts_.metrics) {
+    metrics_.observe_transfer(e);
+    // Split each priced transfer the way tarr::report's critical-path
+    // attribution does: the uncontended floor is serialization; whatever
+    // contention (and retransmission reloads) added on top is stall.
+    metrics_.observe("transfer.duration", e.duration);
+    const double serial = std::min(e.uncontended, e.duration);
+    const double residual = e.duration - serial;
+    metrics_.observe("transfer.serialization", serial);
+    if (e.attempts > 1)
+      metrics_.observe("transfer.retransmission", residual);
+    else
+      metrics_.observe("transfer.stall", residual);
+  }
 }
 
 void Tracer::on_phase(const PhaseEvent& e) {
@@ -157,6 +175,10 @@ void Tracer::on_wall_span(const WallSpan& s) {
 
 void Tracer::add_count(const std::string& name, double delta) {
   if (opts_.metrics) metrics_.add_count(name, delta);
+}
+
+void Tracer::observe(const std::string& name, double value) {
+  if (opts_.metrics) metrics_.observe(name, value);
 }
 
 std::string Tracer::timeline_json() const {

@@ -66,6 +66,7 @@ class Tracer final : public TraceSink {
   void on_wall_span(const WallSpan& s) override;
   void on_time(const TimeEvent& e) override;
   void add_count(const std::string& name, double delta) override;
+  void observe(const std::string& name, double value) override;
 
   const TracerOptions& options() const { return opts_; }
   const MetricsRegistry& metrics() const { return metrics_; }

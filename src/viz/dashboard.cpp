@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "report/critical_path.hpp"
 #include "report/diff.hpp"
+#include "viz/findings.hpp"
 #include "viz/matrix.hpp"
 #include "viz/profile.hpp"
 #include "viz/timeline.hpp"
@@ -179,6 +180,16 @@ std::string render_dashboard(const DashboardInputs& in) {
         "channel classes, from tarr::report::diff_runs.",
         diff_body);
   }
+
+  // Run diagnosis (tarr::insight findings).
+  if (in.diagnosis != nullptr)
+    page.add_section(
+        "Diagnosis",
+        "tarr::insight's ranked findings over the " + in.baseline_label +
+            " run: stragglers, imbalance, fairness and critical-path "
+            "pathologies, each with exact traced evidence and the knob it "
+            "implicates.",
+        render_findings_section(*in.diagnosis));
 
   // Reproduction overheads (tarr::prof self-profile).
   if (in.profile != nullptr && !in.profile->entries.empty())

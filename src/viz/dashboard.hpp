@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "insight/findings.hpp"
 #include "prof/profiler.hpp"
 #include "report/record.hpp"
 #include "report/snapshot.hpp"
@@ -40,6 +41,10 @@ struct DashboardInputs {
   /// enables the "Overheads" section (viz/profile.hpp).
   const prof::Profile* profile = nullptr;
   std::string profile_label = "this run";
+
+  /// Optional tarr::insight diagnosis of the baseline run: enables the
+  /// "Diagnosis" section (viz/findings.hpp).
+  const insight::Diagnosis* diagnosis = nullptr;
 };
 
 /// Render the full page.  Throws tarr::Error when machine/baseline are

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "insight/findings.hpp"
+
+/// \file findings.hpp
+/// The "Diagnosis" dashboard section: tarr::insight's ranked findings
+/// rendered as severity-labeled cards (status colors always paired with the
+/// text label, per the html.hpp color policy) with their exact evidence
+/// numbers, plus the headline imbalance / fairness figures.  Deterministic:
+/// a pure function of the Diagnosis, so same-seed dashboards stay
+/// byte-identical.
+
+namespace tarr::viz {
+
+/// Section body HTML for one diagnosis (renders a "no findings" line when
+/// the findings list is empty).
+std::string render_findings_section(const insight::Diagnosis& d);
+
+}  // namespace tarr::viz

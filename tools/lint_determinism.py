@@ -129,14 +129,21 @@ def main() -> int:
     ap.add_argument("files", nargs="*", type=Path,
                     help="files to lint (default: all of --root)")
     ap.add_argument("--root", type=Path, default=None,
-                    help="directory to lint recursively (default: src/)")
+                    help="directory to lint recursively "
+                         "(default: src/, bench/ and examples/)")
     args = ap.parse_args()
 
     repo_root = Path(__file__).resolve().parent.parent
     files = args.files
     if not files:
-        root = args.root if args.root is not None else repo_root / "src"
-        files = sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp"))
+        # Default scope covers everything that feeds byte-identity-gated
+        # artifacts: the library, the bench snapshot writers, and the CLIs.
+        roots = ([args.root] if args.root is not None else
+                 [repo_root / "src", repo_root / "bench",
+                  repo_root / "examples"])
+        files = []
+        for root in roots:
+            files += sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp"))
 
     allow = load_allowlist(repo_root)
     findings = []
