@@ -25,24 +25,25 @@
 //   --prof PATH           also self-profile the campaign (tarr::prof) and
 //                         write the deterministic work-counter flat profile
 //                         CSV; prof.* totals are appended to the summary
+//   --tlog PATH           also stream the campaign's trace events (aggregate
+//                         counters + wall span) to a bounded-memory binary
+//                         .tlog capture (tarr::tlog; inspect with tarr-log)
 //
 // --smoke prints the metrics CSV after the summary, so CI gets the
 // machine-readable counters without an extra file.
 
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "fault/campaign.hpp"
 #include "prof/prof.hpp"
+#include "tlog/writer.hpp"
 #include "trace/tracer.hpp"
 #include "viz/html.hpp"
 
@@ -61,48 +62,18 @@ constexpr const char* kUsage =
     "  --json PATH           also write the JSON rows\n"
     "  --metrics PATH        also write the campaign metrics CSV\n"
     "  --html PATH           also write the HTML chart page\n"
-    "  --prof PATH           also write the tarr::prof flat profile CSV\n";
-
-[[noreturn]] void die_usage(const std::string& why) {
-  std::fprintf(stderr, "fault_campaign: %s\n%s", why.c_str(), kUsage);
-  std::exit(2);
-}
-
-/// Strict integer parse: the whole token must be a number in [lo, hi].
-long parse_int(const std::string& opt, const char* s, long lo, long hi) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0')
-    die_usage(opt + ": '" + s + "' is not an integer");
-  if (v < lo || v > hi)
-    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
-              ", " + std::to_string(hi) + "]");
-  return v;
-}
-
-/// Strict floating-point parse in [lo, hi].
-double parse_double(const std::string& opt, const char* s, double lo,
-                    double hi) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s, &end);
-  if (errno != 0 || end == s || *end != '\0' || std::isnan(v))
-    die_usage(opt + ": '" + s + "' is not a number");
-  if (v < lo || v > hi)
-    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
-              ", " + std::to_string(hi) + "]");
-  return v;
-}
+    "  --prof PATH           also write the tarr::prof flat profile CSV\n"
+    "  --tlog PATH           also write the binary .tlog trace capture\n";
 
 std::vector<int> parse_counts(const char* s) {
+  namespace cli = tarr::cli;
   std::vector<int> out;
   std::string tok;
   for (const char* p = s;; ++p) {
     if (*p == ',' || *p == '\0') {
       if (!tok.empty()) {
         out.push_back(static_cast<int>(
-            parse_int("--failures", tok.c_str(), 0, 1 << 20)));
+            cli::parse_int("--failures", tok.c_str(), 0, 1 << 20)));
         tok.clear();
       }
       if (*p == '\0') break;
@@ -110,7 +81,7 @@ std::vector<int> parse_counts(const char* s) {
       tok += *p;
     }
   }
-  if (out.empty()) die_usage("--failures: empty list");
+  if (out.empty()) throw cli::UsageError("--failures: empty list");
   return out;
 }
 
@@ -207,67 +178,71 @@ int main(int argc, char** argv) {
 
   fault::CampaignConfig cfg;
   std::string csv_path, json_path, metrics_path, html_path, prof_path;
+  std::string tlog_path;
   bool smoke = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) die_usage("missing value for " + a);
-      return argv[++i];
-    };
-    if (a == "--smoke") {
-      smoke = true;
-      // Deterministic CI preset: small machine, few trials, both a clean and
-      // a heavily-degraded point, fixed seed.  nodes_per_leaf is shrunk so
-      // the 16 nodes still span every leaf of the fabric.
-      cfg.num_nodes = 16;
-      cfg.tree.nodes_per_leaf = 4;
-      cfg.trials = 2;
-      cfg.failure_counts = {0, 2, 4};
-      cfg.seed = 42;
-    } else if (a == "--nodes") {
-      cfg.num_nodes = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
-    } else if (a == "--trials") {
-      cfg.trials = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
-    } else if (a == "--failures") {
-      cfg.failure_counts = parse_counts(next());
-    } else if (a == "--kind") {
-      const std::string k = next();
-      if (k == "links") {
-        cfg.kind = fault::FailureKind::Links;
-      } else if (k == "nodes") {
-        cfg.kind = fault::FailureKind::Nodes;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
+        return argv[++i];
+      };
+      if (a == "--smoke") {
+        smoke = true;
+        // Deterministic CI preset: small machine, few trials, both a clean
+        // and a heavily-degraded point, fixed seed.  nodes_per_leaf is
+        // shrunk so the 16 nodes still span every leaf of the fabric.
+        cfg.num_nodes = 16;
+        cfg.tree.nodes_per_leaf = 4;
+        cfg.trials = 2;
+        cfg.failure_counts = {0, 2, 4};
+        cfg.seed = 42;
+      } else if (a == "--nodes") {
+        cfg.num_nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+      } else if (a == "--trials") {
+        cfg.trials = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+      } else if (a == "--failures") {
+        cfg.failure_counts = parse_counts(next());
+      } else if (a == "--kind") {
+        const std::string k = next();
+        if (k == "links") {
+          cfg.kind = fault::FailureKind::Links;
+        } else if (k == "nodes") {
+          cfg.kind = fault::FailureKind::Nodes;
+        } else {
+          throw cli::UsageError("--kind must be links or nodes, got '" + k +
+                                "'");
+        }
+      } else if (a == "--seed") {
+        cfg.seed = cli::parse_seed(a, next());
+      } else if (a == "--drop") {
+        cfg.transient.drop_prob = cli::parse_double(a, next(), 0.0, 1.0);
+      } else if (a == "--csv") {
+        csv_path = next();
+      } else if (a == "--json") {
+        json_path = next();
+      } else if (a == "--metrics") {
+        metrics_path = next();
+      } else if (a == "--html") {
+        html_path = next();
+      } else if (a == "--prof") {
+        prof_path = next();
+      } else if (a == "--tlog") {
+        tlog_path = next();
       } else {
-        die_usage("--kind must be links or nodes, got '" + k + "'");
+        throw cli::UsageError("unknown option " + a);
       }
-    } else if (a == "--seed") {
-      char* end = nullptr;
-      errno = 0;
-      const char* s = next();
-      cfg.seed = std::strtoull(s, &end, 10);
-      if (errno != 0 || end == s || *end != '\0')
-        die_usage(std::string("--seed: '") + s + "' is not an integer");
-    } else if (a == "--drop") {
-      cfg.transient.drop_prob = parse_double(a, next(), 0.0, 1.0);
-    } else if (a == "--csv") {
-      csv_path = next();
-    } else if (a == "--json") {
-      json_path = next();
-    } else if (a == "--metrics") {
-      metrics_path = next();
-    } else if (a == "--html") {
-      html_path = next();
-    } else if (a == "--prof") {
-      prof_path = next();
-    } else {
-      die_usage("unknown option " + a);
     }
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "fault_campaign: %s\n%s", e.what(), kUsage);
+    return 2;
   }
 
   try {
     // Fail fast on unwritable output paths — a campaign can run for minutes.
     for (const std::string& p :
-         {csv_path, json_path, metrics_path, html_path, prof_path})
+         {csv_path, json_path, metrics_path, html_path, prof_path, tlog_path})
       if (!p.empty()) trace::Tracer::ensure_writable(p);
 
     prof::Profiler profiler;
@@ -277,7 +252,12 @@ int main(int argc, char** argv) {
       prof_ambient.emplace(&profiler);
     }
 
-    const fault::CampaignResult result = fault::run_fault_campaign(cfg);
+    std::optional<tlog::TlogSink> tlog_sink;
+    if (!tlog_path.empty()) tlog_sink.emplace(tlog_path);
+
+    const fault::CampaignResult result =
+        fault::run_fault_campaign(cfg, tlog_sink ? &*tlog_sink : nullptr);
+    if (tlog_sink) tlog_sink->finish();
     std::printf("%s", result.summary().c_str());
     if (smoke) {
       std::printf("\nmetrics (category,key,count,total,peak):\n%s",
@@ -298,6 +278,12 @@ int main(int argc, char** argv) {
                   reg.csv().c_str());
       std::printf("prof    : %s (%zu scopes)\n", prof_path.c_str(),
                   profile.entries.size());
+    }
+    if (tlog_sink) {
+      std::printf("tlog    : %s (%llu bytes, %lld events)\n",
+                  tlog_path.c_str(),
+                  static_cast<unsigned long long>(tlog_sink->totals().bytes),
+                  tlog_sink->totals().stored_events());
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "fault_campaign: %s\n", e.what());

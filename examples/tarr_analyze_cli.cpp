@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "collectives/contracts.hpp"
 #include "collectives/gather_bcast.hpp"
 #include "collectives/hierarchical.hpp"
+#include "common/cli.hpp"
 #include "common/permutation.hpp"
 #include "core/framework.hpp"
 #include "report/record.hpp"
@@ -268,26 +270,29 @@ analyze::Mutation parse_mutation(const std::string& s) {
 
 int parse_options(int argc, char** argv, Options& o) {
   for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--collective")) o.collective = next();
-    else if (!std::strcmp(argv[i], "--nodes")) o.nodes = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--procs")) o.procs = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--layout")) o.layout = next();
-    else if (!std::strcmp(argv[i], "--reorder")) o.reorder = true;
-    else if (!std::strcmp(argv[i], "--seed"))
-      o.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--msg")) o.msg_bytes = std::atoll(next());
-    else if (!std::strcmp(argv[i], "--max-link-load"))
-      o.max_link_load = std::atof(next());
-    else if (!std::strcmp(argv[i], "--max-qpi-bytes"))
-      o.max_qpi_bytes = std::atof(next());
-    else if (!std::strcmp(argv[i], "--mutate")) o.mutate = next();
-    else if (!std::strcmp(argv[i], "--mutate-seed"))
-      o.mutate_seed = std::strtoull(next(), nullptr, 10);
-    else usage();
+    if (a == "--collective") o.collective = next();
+    else if (a == "--nodes")
+      o.nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+    else if (a == "--procs")
+      o.procs = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 26));
+    else if (a == "--layout") o.layout = next();
+    else if (a == "--reorder") o.reorder = true;
+    else if (a == "--seed") o.seed = cli::parse_seed(a, next());
+    else if (a == "--msg")
+      o.msg_bytes = cli::parse_int(a, next(), 1,
+                                   std::numeric_limits<long long>::max());
+    else if (a == "--max-link-load")
+      o.max_link_load = cli::parse_double(a, next(), 0.0, 1e18);
+    else if (a == "--max-qpi-bytes")
+      o.max_qpi_bytes = cli::parse_double(a, next(), 0.0, 1e18);
+    else if (a == "--mutate") o.mutate = next();
+    else if (a == "--mutate-seed") o.mutate_seed = cli::parse_seed(a, next());
+    else throw cli::UsageError("unknown option " + a);
   }
   return argc;
 }
@@ -381,6 +386,9 @@ int main(int argc, char** argv) {
       return cmd_certify_all(argc, argv);
     if (!std::strcmp(argv[1], "list")) return cmd_list();
     usage();
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-analyze: %s\n", e.what());
+    usage();  // exits 2
   } catch (const Error& e) {
     std::fprintf(stderr, "tarr-analyze: %s\n", e.what());
     return 1;

@@ -3,7 +3,7 @@
 //
 //   tarr-insight diagnose [run options] [--congested] [--epoch E]
 //       [--cong-seed S] [--cong-prob P] [--fail-on SEVERITY] [--out FILE]
-//       [--markdown]
+//       [--markdown] [--save-tlog FILE] [--from-tlog FILE]
 //       Run the pattern-matched collective (identity layout by default —
 //       diagnosing the *un-reordered* run is the point), record its
 //       schedule and metrics distributions, and print the ranked findings:
@@ -14,6 +14,10 @@
 //       fabric (probe::congestion_mask over the GPC network, deterministic
 //       in --cong-seed/--epoch).  With --fail-on the exit code is 3 when
 //       any finding reaches the given severity (CI gate on diagnosis).
+//       --save-tlog streams the run into a `.tlog` trace (docs/TLOG.md);
+//       --from-tlog skips the simulation and rebuilds both the schedule
+//       record and the metrics distributions from such a file — with the
+//       same run options the diagnosis is byte-identical to the live run.
 //
 //   tarr-insight trend SELECTOR [--label L] [SELECTOR [--label L] ...]
 //       [--rel-threshold P] [--abs-threshold V] [--all]
@@ -34,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <optional>
 #include <string>
@@ -41,7 +46,10 @@
 
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
+#include "common/cli.hpp"
 #include "core/topoallgather.hpp"
+#include "tlog/reader.hpp"
+#include "tlog/writer.hpp"
 #include "fault/degraded.hpp"
 #include "insight/insight.hpp"
 #include "mapping/comparators.hpp"
@@ -60,7 +68,7 @@ using namespace tarr;
       "usage: tarr-insight diagnose [run options] [--congested] [--epoch E]\n"
       "                    [--cong-seed S] [--cong-prob P]\n"
       "                    [--fail-on info|warning|critical] [--out FILE]\n"
-      "                    [--markdown]\n"
+      "                    [--markdown] [--save-tlog F] [--from-tlog F]\n"
       "       tarr-insight trend SELECTOR [--label L] [SELECTOR ...]\n"
       "                    [--rel-threshold P] [--abs-threshold V] [--all]\n"
       "                    [--fail-on-regression]\n"
@@ -129,36 +137,46 @@ struct DiagnoseArgs {
   std::string fail_on;  ///< empty: never gate
   std::string out_path;
   report::RenderFormat format = report::RenderFormat::Text;
+  std::string save_tlog;  ///< also stream the recorded run into a .tlog
+  std::string from_tlog;  ///< rebuild record + metrics from a .tlog
 };
 
 int cmd_diagnose(int argc, char** argv) {
   DiagnoseArgs a;
   for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + arg);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--nodes")) a.nodes = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--procs")) a.procs = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--layout")) a.layout = next();
-    else if (!std::strcmp(argv[i], "--pattern")) a.pattern = next();
-    else if (!std::strcmp(argv[i], "--mapper")) a.mapper = next();
-    else if (!std::strcmp(argv[i], "--seed"))
-      a.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--msg")) a.msg_bytes = std::atoll(next());
-    else if (!std::strcmp(argv[i], "--top")) a.top_k = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--congested")) a.congested = true;
-    else if (!std::strcmp(argv[i], "--epoch")) a.epoch = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--cong-seed"))
-      a.congestion.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--cong-prob"))
-      a.congestion.link_prob = std::atof(next());
-    else if (!std::strcmp(argv[i], "--fail-on")) a.fail_on = next();
-    else if (!std::strcmp(argv[i], "--out")) a.out_path = next();
-    else if (!std::strcmp(argv[i], "--markdown"))
-      a.format = report::RenderFormat::Markdown;
-    else usage();
+    if (arg == "--nodes")
+      a.nodes = static_cast<int>(cli::parse_int(arg, next(), 1, 1 << 20));
+    else if (arg == "--procs")
+      a.procs = static_cast<int>(cli::parse_int(arg, next(), 1, 1 << 26));
+    else if (arg == "--layout") a.layout = next();
+    else if (arg == "--pattern") a.pattern = next();
+    else if (arg == "--mapper") a.mapper = next();
+    else if (arg == "--seed") a.seed = cli::parse_seed(arg, next());
+    else if (arg == "--msg")
+      a.msg_bytes = cli::parse_int(arg, next(), 1,
+                                   std::numeric_limits<long long>::max());
+    else if (arg == "--top")
+      a.top_k = static_cast<int>(cli::parse_int(arg, next(), 1, 1 << 20));
+    else if (arg == "--congested") a.congested = true;
+    else if (arg == "--epoch")
+      a.epoch = static_cast<int>(cli::parse_int(arg, next(), 0, 1 << 20));
+    else if (arg == "--cong-seed") a.congestion.seed = cli::parse_seed(arg, next());
+    else if (arg == "--cong-prob")
+      a.congestion.link_prob = cli::parse_double(arg, next(), 0.0, 1.0);
+    else if (arg == "--fail-on") a.fail_on = next();
+    else if (arg == "--out") a.out_path = next();
+    else if (arg == "--markdown") a.format = report::RenderFormat::Markdown;
+    else if (arg == "--save-tlog") a.save_tlog = next();
+    else if (arg == "--from-tlog") a.from_tlog = next();
+    else throw cli::UsageError("unknown option " + arg);
   }
+  if (!a.from_tlog.empty() && !a.save_tlog.empty())
+    throw cli::UsageError("--from-tlog and --save-tlog are exclusive");
   // Parse the gate severity before the run so a typo fails in milliseconds,
   // and probe the output path the same way.
   std::optional<insight::Severity> gate;
@@ -197,7 +215,9 @@ int cmd_diagnose(int argc, char** argv) {
 
   const simmpi::Communicator* run_comm = &comm;
   std::optional<core::ReorderedComm> rc;
-  if (a.mapper != "identity") {
+  // In --from-tlog mode the mapping run is skipped along with the
+  // simulation; rank count (all the header needs) is mapper-independent.
+  if (a.from_tlog.empty() && a.mapper != "identity") {
     core::ReorderFramework::Options fopts;
     fopts.seed = a.seed;
     core::ReorderFramework fw(machine, fopts);
@@ -213,16 +233,25 @@ int cmd_diagnose(int argc, char** argv) {
 
   // Record the schedule AND the metrics distributions in one run: the
   // recorder feeds the imbalance analytics, the tracer's registry feeds
-  // the tail-latency findings.
+  // the tail-latency findings.  A `.tlog` replay delivers the identical
+  // event stream to the same tee, so both rebuild byte-exactly.
   report::ScheduleRecorder recorder;
   trace::TracerOptions topts;
   topts.timeline = false;
   trace::Tracer tracer(topts);
   trace::TeeSink tee(&tracer, &recorder);
-  simmpi::Engine eng(*run_comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
-                     a.msg_bytes, run_comm->size());
-  eng.set_trace_sink(&tee);
-  run_collective(eng, pattern, oldrank);
+  if (!a.from_tlog.empty()) {
+    tlog::replay(a.from_tlog, tee);
+  } else {
+    std::optional<tlog::TlogSink> tlog_sink;
+    if (!a.save_tlog.empty()) tlog_sink.emplace(a.save_tlog);
+    trace::TeeSink outer(&tee, tlog_sink ? &*tlog_sink : nullptr);
+    simmpi::Engine eng(*run_comm, simmpi::CostConfig{},
+                       simmpi::ExecMode::Timed, a.msg_bytes, run_comm->size());
+    eng.set_trace_sink(&outer);
+    run_collective(eng, pattern, oldrank);
+    if (tlog_sink) tlog_sink->finish();
+  }
   const report::ScheduleRecord rec = recorder.take();
 
   insight::DiagnoseOptions dopts;
@@ -252,23 +281,27 @@ int cmd_trend(int argc, char** argv) {
   insight::ChangePointOptions opts;
   bool fail_on_regression = false;
   for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + arg);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--label")) {
-      if (sets.empty()) usage();
+    if (arg == "--label") {
+      if (sets.empty())
+        throw cli::UsageError("--label must follow a selector");
       sets.back().label = next();
-    } else if (!std::strcmp(argv[i], "--rel-threshold")) {
-      opts.rel_threshold = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--abs-threshold")) {
-      opts.abs_threshold = std::atof(next());
-    } else if (!std::strcmp(argv[i], "--all")) {
+    } else if (arg == "--rel-threshold") {
+      opts.rel_threshold = cli::parse_double(
+          arg, next(), 0.0, std::numeric_limits<double>::max());
+    } else if (arg == "--abs-threshold") {
+      opts.abs_threshold = cli::parse_double(
+          arg, next(), 0.0, std::numeric_limits<double>::max());
+    } else if (arg == "--all") {
       opts.gated_only = false;
-    } else if (!std::strcmp(argv[i], "--fail-on-regression")) {
+    } else if (arg == "--fail-on-regression") {
       fail_on_regression = true;
-    } else if (argv[i][0] == '-') {
-      usage();
+    } else if (arg[0] == '-') {
+      throw cli::UsageError("unknown option " + arg);
     } else {
       insight::SnapshotSet s;
       s.label = argv[i];
@@ -292,6 +325,9 @@ int main(int argc, char** argv) {
   try {
     if (!std::strcmp(argv[1], "diagnose")) return cmd_diagnose(argc, argv);
     if (!std::strcmp(argv[1], "trend")) return cmd_trend(argc, argv);
+    usage();
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-insight: %s\n", e.what());
     usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "tarr-insight: %s\n", e.what());

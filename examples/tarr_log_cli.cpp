@@ -1,0 +1,284 @@
+// tarr-log — query CLI over `.tlog` streaming binary trace files (see
+// docs/TLOG.md for the format).  Three subcommands:
+//
+//   tarr-log info FILE
+//       Header + footer-index summary without decoding any block: format
+//       version, block size, sampling, writer-side filter, per-kind
+//       received / filtered / sampled-out / stored bookkeeping, and the
+//       per-block index (offset, bytes, events, stage range).
+//
+//   tarr-log cat FILE [--json PATH] [--metrics PATH] [filters]
+//       Decode the selected events and re-render them through the
+//       existing serializers: --json writes the Chrome trace-event
+//       timeline (trace::Tracer::timeline_json), --metrics the metrics
+//       registry CSV.  With neither, the timeline JSON goes to stdout.
+//
+//   tarr-log stats FILE --by rank|stage|channel [filters]
+//       Transfer aggregates grouped by source rank, stage, or channel
+//       class, computed with selective block decode (blocks whose index
+//       entry proves no match are never decoded; the skip count is
+//       reported on stderr).  CSV columns: key, transfers, bytes,
+//       duration_us, stall_us.
+//
+// Filters (cat and stats): --kinds K1,K2,... (stage, transfer, copy,
+// permute, phase, counter, wall-span, time, count, observe), --stages
+// LO:HI, --ranks LO:HI.  Unknown flags and malformed numerics print this
+// usage and exit 2.  Output is deterministic: same file + same flags ->
+// byte-identical output (CI cmp's it).
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "tlog/reader.hpp"
+#include "trace/tracer.hpp"
+
+namespace {
+
+using namespace tarr;
+
+constexpr const char* kUsage =
+    "usage: tarr-log info FILE\n"
+    "       tarr-log cat FILE [--json PATH] [--metrics PATH] [filters]\n"
+    "       tarr-log stats FILE --by rank|stage|channel [filters]\n"
+    "filters: --kinds K1,K2,...  --stages LO:HI  --ranks LO:HI\n"
+    "kinds: stage transfer copy permute phase counter wall-span time\n"
+    "       count observe\n";
+
+/// Parse "LO:HI" (or a single "N" meaning N:N) into an inclusive window.
+void parse_window(const std::string& opt, const char* s, int& lo, int& hi) {
+  const std::string v = s;
+  const std::size_t colon = v.find(':');
+  if (colon == std::string::npos) {
+    lo = hi = static_cast<int>(
+        cli::parse_int(opt, s, 0, std::numeric_limits<int>::max()));
+    return;
+  }
+  lo = static_cast<int>(cli::parse_int(opt, v.substr(0, colon).c_str(), 0,
+                                       std::numeric_limits<int>::max()));
+  hi = static_cast<int>(cli::parse_int(opt, v.substr(colon + 1).c_str(), 0,
+                                       std::numeric_limits<int>::max()));
+  if (lo > hi)
+    throw cli::UsageError(opt + ": empty window " + v);
+}
+
+unsigned parse_kinds(const std::string& opt, const char* s) {
+  unsigned mask = 0;
+  std::string list = s;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    tlog::EventKind k;
+    if (!tlog::parse_event_kind(name, k))
+      throw cli::UsageError(opt + ": unknown event kind '" + name + "'");
+    mask |= 1u << static_cast<int>(k);
+    start = comma + 1;
+  }
+  return mask;
+}
+
+/// Shared filter flags; returns true when `argv[i]` was consumed.
+bool parse_filter_flag(int argc, char** argv, int& i, tlog::EventFilter& f) {
+  const std::string a = argv[i];
+  auto next = [&]() -> const char* {
+    if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
+    return argv[++i];
+  };
+  if (a == "--kinds") {
+    f.kinds = parse_kinds(a, next());
+    return true;
+  }
+  if (a == "--stages") {
+    parse_window(a, next(), f.min_stage, f.max_stage);
+    return true;
+  }
+  if (a == "--ranks") {
+    parse_window(a, next(), f.min_rank, f.max_rank);
+    return true;
+  }
+  return false;
+}
+
+int cmd_info(const std::string& path) {
+  const tlog::FileInfo info = tlog::read_info(path);
+  std::printf("%s: tlog v%d, %llu bytes, %zu blocks, %zu interned strings\n",
+              path.c_str(), info.version,
+              static_cast<unsigned long long>(info.file_bytes),
+              info.blocks.size(), info.strings.size());
+  std::printf("block size %zu bytes, sample every %d%s\n", info.block_bytes,
+              info.sample_every,
+              info.filter.pass_all() ? "" : ", writer-side filter active");
+
+  TextTable kinds;
+  kinds.set_header({"kind", "received", "filtered", "sampled-out", "stored"});
+  for (int k = 0; k < tlog::kNumEventKinds; ++k) {
+    const auto ki = static_cast<std::size_t>(k);
+    if (info.received[ki] == 0) continue;
+    kinds.add_row({tlog::to_string(static_cast<tlog::EventKind>(k)),
+                   std::to_string(info.received[ki]),
+                   std::to_string(info.filtered[ki]),
+                   std::to_string(info.sampled_out[ki]),
+                   std::to_string(info.stored[ki])});
+  }
+  std::fputs(kinds.render().c_str(), stdout);
+
+  TextTable blocks;
+  blocks.set_header({"block", "offset", "bytes", "events", "stages"});
+  for (std::size_t b = 0; b < info.blocks.size(); ++b) {
+    const tlog::BlockInfo& e = info.blocks[b];
+    blocks.add_row(
+        {std::to_string(b), std::to_string(e.offset),
+         std::to_string(e.payload_len), std::to_string(e.events),
+         e.has_stage() ? std::to_string(e.min_stage) + ":" +
+                             std::to_string(e.max_stage)
+                       : "-"});
+  }
+  std::fputs(blocks.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_cat(const std::string& path, const tlog::EventFilter& filter,
+            const std::string& json_path, const std::string& metrics_path) {
+  trace::Tracer tracer;
+  tlog::ReplayOptions opts;
+  opts.filter = filter;
+  const tlog::ReplayStats stats = tlog::replay(path, tracer, opts);
+  if (!json_path.empty()) tracer.write_timeline(json_path);
+  if (!metrics_path.empty()) tracer.write_metrics(metrics_path);
+  if (json_path.empty() && metrics_path.empty())
+    std::fputs(tracer.timeline_json().c_str(), stdout);
+  std::fprintf(stderr,
+               "tarr-log: delivered %lld events, decoded %lld/%lld blocks "
+               "(%lld skipped via index)\n",
+               stats.delivered_events(), stats.blocks_decoded,
+               stats.blocks_total, stats.blocks_skipped);
+  return 0;
+}
+
+/// Transfer aggregator behind `tarr-log stats`.
+class StatsSink final : public trace::TraceSink {
+ public:
+  enum class By { Rank, Stage, Channel };
+
+  explicit StatsSink(By by) : by_(by) {}
+
+  void on_transfer(const trace::TransferEvent& e) override {
+    Row& r = rows_[key_of(e)];
+    r.transfers += 1;
+    r.bytes += e.bytes;
+    r.duration += e.duration;
+    r.stall += e.duration - e.uncontended;
+  }
+
+  std::string csv() const {
+    std::string out = "key,transfers,bytes,duration_us,stall_us\n";
+    char buf[160];
+    for (const auto& [key, r] : rows_) {
+      std::snprintf(buf, sizeof buf, "%s,%lld,%lld,%.17g,%.17g\n",
+                    key.c_str(), r.transfers, r.bytes, r.duration, r.stall);
+      out += buf;
+    }
+    return out;
+  }
+
+ private:
+  struct Row {
+    long long transfers = 0;
+    long long bytes = 0;
+    double duration = 0.0;
+    double stall = 0.0;
+  };
+
+  /// Map keys are zero-padded so lexicographic map order is numeric order.
+  std::string key_of(const trace::TransferEvent& e) const {
+    char buf[32];
+    switch (by_) {
+      case By::Rank:
+        std::snprintf(buf, sizeof buf, "%08d", e.src_rank);
+        return buf;
+      case By::Stage:
+        std::snprintf(buf, sizeof buf, "%08d", e.stage);
+        return buf;
+      case By::Channel:
+        return trace::to_string(e.channel);
+    }
+    return "?";
+  }
+
+  By by_;
+  std::map<std::string, Row> rows_;
+};
+
+int cmd_stats(const std::string& path, tlog::EventFilter filter,
+              const std::string& by) {
+  StatsSink::By group;
+  if (by == "rank") group = StatsSink::By::Rank;
+  else if (by == "stage") group = StatsSink::By::Stage;
+  else if (by == "channel") group = StatsSink::By::Channel;
+  else throw cli::UsageError("stats --by: expected rank|stage|channel, got '" +
+                             by + "'");
+
+  // Only transfers feed the aggregates; narrowing the kind mask is what
+  // lets the reader skip transfer-free blocks outright.
+  filter.kinds &= 1u << static_cast<int>(tlog::EventKind::Transfer);
+  StatsSink sink(group);
+  tlog::ReplayOptions opts;
+  opts.filter = filter;
+  const tlog::ReplayStats stats = tlog::replay(path, sink, opts);
+  std::fputs(sink.csv().c_str(), stdout);
+  std::fprintf(stderr,
+               "tarr-log: decoded %lld/%lld blocks (%lld skipped via index)\n",
+               stats.blocks_decoded, stats.blocks_total,
+               stats.blocks_skipped);
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 3) throw cli::UsageError("missing subcommand or file");
+  const std::string cmd = argv[1];
+  const std::string path = argv[2];
+
+  tlog::EventFilter filter;
+  std::string json_path, metrics_path, by;
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
+      return argv[++i];
+    };
+    if (parse_filter_flag(argc, argv, i, filter)) continue;
+    if (cmd == "cat" && a == "--json") json_path = next();
+    else if (cmd == "cat" && a == "--metrics") metrics_path = next();
+    else if (cmd == "stats" && a == "--by") by = next();
+    else throw cli::UsageError("unknown option " + a);
+  }
+
+  if (cmd == "info") return cmd_info(path);
+  if (cmd == "cat") return cmd_cat(path, filter, json_path, metrics_path);
+  if (cmd == "stats") {
+    if (by.empty()) throw cli::UsageError("stats requires --by");
+    return cmd_stats(path, filter, by);
+  }
+  throw cli::UsageError("unknown subcommand '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-log: %s\n%s", e.what(), kUsage);
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "tarr-log: %s\n", e.what());
+    return 1;
+  }
+}

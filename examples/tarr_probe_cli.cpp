@@ -21,19 +21,20 @@
 //   --prof PATH        also self-profile the scenario (tarr::prof) and write
 //                      the deterministic work-counter flat profile CSV;
 //                      prof.* totals join the --metrics CSV when both are set
+//   --tlog PATH        also stream every scenario trace event to a
+//                      bounded-memory binary .tlog capture (tarr::tlog;
+//                      inspect with tarr-log)
 
-#include <cerrno>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <limits>
 #include <optional>
 #include <string>
 
+#include "common/cli.hpp"
 #include "common/error.hpp"
 #include "prof/prof.hpp"
 #include "probe/probe.hpp"
+#include "tlog/writer.hpp"
 #include "trace/tracer.hpp"
 
 namespace {
@@ -50,36 +51,8 @@ constexpr const char* kUsage =
     "  --csv PATH         also write the per-epoch CSV\n"
     "  --metrics PATH     also write the trace metrics CSV\n"
     "  --trace PATH       also write a Perfetto-loadable trace JSON\n"
-    "  --prof PATH        also write the tarr::prof flat profile CSV\n";
-
-[[noreturn]] void die_usage(const std::string& why) {
-  std::fprintf(stderr, "tarr-probe: %s\n%s", why.c_str(), kUsage);
-  std::exit(2);
-}
-
-long parse_int(const std::string& opt, const char* s, long lo, long hi) {
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(s, &end, 10);
-  if (errno != 0 || end == s || *end != '\0')
-    die_usage(opt + ": '" + s + "' is not an integer");
-  if (v < lo || v > hi)
-    die_usage(opt + ": " + s + " is out of range [" + std::to_string(lo) +
-              ", " + std::to_string(hi) + "]");
-  return v;
-}
-
-double parse_double(const std::string& opt, const char* s, double lo,
-                    double hi) {
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(s, &end);
-  if (errno != 0 || end == s || *end != '\0' || std::isnan(v))
-    die_usage(opt + ": '" + s + "' is not a number");
-  if (v < lo || v > hi)
-    die_usage(opt + ": " + s + " is out of range");
-  return v;
-}
+    "  --prof PATH        also write the tarr::prof flat profile CSV\n"
+    "  --tlog PATH        also write the binary .tlog trace capture\n";
 
 void write_file(const std::string& path, const std::string& body) {
   std::ofstream f(path);
@@ -97,52 +70,59 @@ int main(int argc, char** argv) {
   cfg.congestion.link_prob = 0.35;
   cfg.congestion.min_factor = 0.2;
   cfg.congestion.max_factor = 0.6;
+  std::string csv_path, metrics_path, trace_path, prof_path, tlog_path;
+  bool fail_probe = false;
   cfg.controller.probe.seed = 11;
   cfg.controller.drift_threshold = 0.03;
   cfg.controller.hysteresis = 2;
-  std::string csv_path, metrics_path, trace_path, prof_path;
-  bool fail_probe = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) die_usage("missing value for " + a);
-      return argv[++i];
-    };
-    if (a == "--smoke") {
-      cfg.num_nodes = 16;
-      cfg.tree.nodes_per_leaf = 4;
-      cfg.epochs = 6;
-    } else if (a == "--fail-probe") {
-      fail_probe = true;
-    } else if (a == "--nodes") {
-      cfg.num_nodes = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
-    } else if (a == "--epochs") {
-      cfg.epochs = static_cast<int>(parse_int(a, next(), 1, 1 << 20));
-    } else if (a == "--noise") {
-      cfg.controller.probe.noise = parse_double(a, next(), 0.0, 0.999);
-    } else if (a == "--churn") {
-      cfg.congestion.churn = parse_double(a, next(), 0.0, 1.0);
-    } else if (a == "--seed") {
-      cfg.controller.probe.seed = static_cast<std::uint64_t>(
-          parse_int(a, next(), 0, std::numeric_limits<long>::max()));
-    } else if (a == "--csv") {
-      csv_path = next();
-    } else if (a == "--metrics") {
-      metrics_path = next();
-    } else if (a == "--trace") {
-      trace_path = next();
-    } else if (a == "--prof") {
-      prof_path = next();
-    } else {
-      die_usage("unknown option " + a);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
+        return argv[++i];
+      };
+      if (a == "--smoke") {
+        cfg.num_nodes = 16;
+        cfg.tree.nodes_per_leaf = 4;
+        cfg.epochs = 6;
+      } else if (a == "--fail-probe") {
+        fail_probe = true;
+      } else if (a == "--nodes") {
+        cfg.num_nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+      } else if (a == "--epochs") {
+        cfg.epochs = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+      } else if (a == "--noise") {
+        cfg.controller.probe.noise = cli::parse_double(a, next(), 0.0, 0.999);
+      } else if (a == "--churn") {
+        cfg.congestion.churn = cli::parse_double(a, next(), 0.0, 1.0);
+      } else if (a == "--seed") {
+        cfg.controller.probe.seed = cli::parse_seed(a, next());
+      } else if (a == "--csv") {
+        csv_path = next();
+      } else if (a == "--metrics") {
+        metrics_path = next();
+      } else if (a == "--trace") {
+        trace_path = next();
+      } else if (a == "--prof") {
+        prof_path = next();
+      } else if (a == "--tlog") {
+        tlog_path = next();
+      } else {
+        throw cli::UsageError("unknown option " + a);
+      }
     }
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-probe: %s\n%s", e.what(), kUsage);
+    return 2;
   }
   if (fail_probe) cfg.controller.probe.timeout_prob = 1.0;
 
   try {
     // Fail fast on unwritable output paths — before any epoch runs.
-    for (const std::string& p : {csv_path, metrics_path, trace_path, prof_path})
+    for (const std::string& p :
+         {csv_path, metrics_path, trace_path, prof_path, tlog_path})
       if (!p.empty()) trace::Tracer::ensure_writable(p);
 
     prof::Profiler profiler;
@@ -154,8 +134,15 @@ int main(int argc, char** argv) {
 
     trace::Tracer tracer;
     const bool want_trace = !metrics_path.empty() || !trace_path.empty();
-    const probe::ScenarioResult result =
-        probe::run_probed_scenario(cfg, want_trace ? &tracer : nullptr);
+    std::optional<tlog::TlogSink> tlog_sink;
+    if (!tlog_path.empty()) tlog_sink.emplace(tlog_path);
+    // One observer fans out to the buffering tracer and/or the streaming
+    // tlog capture; TeeSink tolerates null legs.
+    trace::TeeSink obs(want_trace ? &tracer : nullptr,
+                       tlog_sink ? &*tlog_sink : nullptr);
+    const probe::ScenarioResult result = probe::run_probed_scenario(
+        cfg, (want_trace || tlog_sink) ? &obs : nullptr);
+    if (tlog_sink) tlog_sink->finish();
     std::printf("%s", result.summary().c_str());
 
     if (fail_probe) {
@@ -186,6 +173,12 @@ int main(int argc, char** argv) {
     }
     if (!metrics_path.empty()) tracer.write_metrics(metrics_path);
     if (!trace_path.empty()) tracer.write_timeline(trace_path);
+    if (tlog_sink) {
+      std::printf("tlog    : %s (%llu bytes, %lld events)\n",
+                  tlog_path.c_str(),
+                  static_cast<unsigned long long>(tlog_sink->totals().bytes),
+                  tlog_sink->totals().stored_events());
+    }
   } catch (const Error& e) {
     std::fprintf(stderr, "tarr-probe: %s\n", e.what());
     return 1;

@@ -2,11 +2,16 @@
 // subsystem.  Three subcommands:
 //
 //   tarr-report critical-path [run options] [--markdown]
+//       [--save-tlog FILE] [--from-tlog FILE]
 //       Run the pattern-matched collective over the reordered communicator,
 //       record its schedule, and print the critical-path report: the
 //       completion-time-determining chain with per-segment channel class
 //       (intra-socket / QPI / intra-leaf / cross-core-switch) and
 //       serialization / contention / retransmission attribution.
+//       --save-tlog additionally streams the run into a `.tlog` trace
+//       (docs/TLOG.md); --from-tlog skips the simulation entirely and
+//       rebuilds the schedule from such a file — pass the same run options
+//       as at capture time and the report is byte-identical (CI cmp's it).
 //
 //   tarr-report diff [run options] [--markdown]
 //       Run the same pattern twice — initial layout (baseline) vs. the
@@ -30,12 +35,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
 
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
+#include "common/cli.hpp"
 #include "core/topoallgather.hpp"
 #include "mapping/comparators.hpp"
 #include "report/diff.hpp"
@@ -43,6 +50,8 @@
 #include "report/render.hpp"
 #include "report/snapshot.hpp"
 #include "simmpi/layout.hpp"
+#include "tlog/reader.hpp"
+#include "tlog/writer.hpp"
 
 namespace {
 
@@ -52,6 +61,7 @@ using namespace tarr;
   std::fprintf(
       stderr,
       "usage: tarr-report critical-path [run options] [--markdown]\n"
+      "                   [--save-tlog FILE] [--from-tlog FILE]\n"
       "       tarr-report diff [run options] [--top K] [--markdown]\n"
       "       tarr-report compare [BASELINE CURRENT] [--baseline-dir G]\n"
       "                   [--candidate-dir G] [--rel-tolerance P]\n"
@@ -72,6 +82,8 @@ struct RunOptions {
   long long msg_bytes = 16 * 1024;
   int top_k = 8;
   report::RenderFormat format = report::RenderFormat::Text;
+  std::string save_tlog;  ///< also stream the recorded run into a .tlog
+  std::string from_tlog;  ///< rebuild the record from a .tlog, no simulation
 };
 
 simmpi::LayoutSpec parse_layout(const std::string& s) {
@@ -120,36 +132,45 @@ void run_collective(simmpi::Engine& eng, mapping::Pattern pattern,
 
 /// Record one run of `pattern` over `comm` (oldrank maps new rank -> old
 /// rank for order-restoring collectives; identity for the baseline).
+/// `extra` hears the same events as the recorder (e.g. a TlogSink).
 report::ScheduleRecord record_run(const simmpi::Communicator& comm,
                                   mapping::Pattern pattern,
                                   const std::vector<Rank>& oldrank,
-                                  long long msg_bytes) {
+                                  long long msg_bytes,
+                                  trace::TraceSink* extra = nullptr) {
   report::ScheduleRecorder recorder;
+  trace::TeeSink tee(&recorder, extra);
   simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
                      msg_bytes, comm.size());
-  eng.set_trace_sink(&recorder);
+  eng.set_trace_sink(&tee);
   run_collective(eng, pattern, oldrank);
   return recorder.take();
 }
 
 int parse_run_options(int argc, char** argv, int i, RunOptions& o) {
   for (; i < argc; ++i) {
+    const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--nodes")) o.nodes = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--procs")) o.procs = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--layout")) o.layout = next();
-    else if (!std::strcmp(argv[i], "--pattern")) o.pattern = next();
-    else if (!std::strcmp(argv[i], "--mapper")) o.mapper = next();
-    else if (!std::strcmp(argv[i], "--seed"))
-      o.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--msg")) o.msg_bytes = std::atoll(next());
-    else if (!std::strcmp(argv[i], "--top")) o.top_k = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--markdown"))
-      o.format = report::RenderFormat::Markdown;
-    else usage();
+    if (a == "--nodes")
+      o.nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+    else if (a == "--procs")
+      o.procs = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 26));
+    else if (a == "--layout") o.layout = next();
+    else if (a == "--pattern") o.pattern = next();
+    else if (a == "--mapper") o.mapper = next();
+    else if (a == "--seed") o.seed = cli::parse_seed(a, next());
+    else if (a == "--msg")
+      o.msg_bytes = cli::parse_int(a, next(), 1,
+                                   std::numeric_limits<long long>::max());
+    else if (a == "--top")
+      o.top_k = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+    else if (a == "--markdown") o.format = report::RenderFormat::Markdown;
+    else if (a == "--save-tlog") o.save_tlog = next();
+    else if (a == "--from-tlog") o.from_tlog = next();
+    else throw cli::UsageError("unknown option " + a);
   }
   return i;
 }
@@ -169,15 +190,30 @@ core::ReorderedComm reorder(core::ReorderFramework& fw,
 int cmd_critical_path(int argc, char** argv) {
   RunOptions o;
   parse_run_options(argc, argv, 2, o);
+  if (!o.from_tlog.empty() && !o.save_tlog.empty())
+    throw cli::UsageError("--from-tlog and --save-tlog are exclusive");
   const topology::Machine machine = topology::Machine::gpc(o.nodes);
   const mapping::Pattern pattern = parse_pattern(o.pattern);
   const simmpi::Communicator comm(
       machine, simmpi::make_layout(machine, o.procs, parse_layout(o.layout)));
-  core::ReorderFramework::Options fopts;
-  fopts.seed = o.seed;
-  core::ReorderFramework fw(machine, fopts);
-  const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
-  const auto rec = record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes);
+  // The report header is a pure function of the flags, so live and
+  // --from-tlog runs of the same options print identical bytes.
+  report::ScheduleRecord rec;
+  if (!o.from_tlog.empty()) {
+    rec = tlog::read_record(o.from_tlog);
+  } else {
+    core::ReorderFramework::Options fopts;
+    fopts.seed = o.seed;
+    core::ReorderFramework fw(machine, fopts);
+    const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
+    if (!o.save_tlog.empty()) {
+      tlog::TlogSink sink(o.save_tlog);
+      rec = record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes, &sink);
+      sink.finish();
+    } else {
+      rec = record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes);
+    }
+  }
   const auto path = report::analyze_critical_path(rec, machine);
   std::printf("%s over %d ranks on %d nodes (%s mapping, %lld B blocks)\n",
               o.pattern.c_str(), comm.size(), o.nodes, o.mapper.c_str(),
@@ -189,6 +225,10 @@ int cmd_critical_path(int argc, char** argv) {
 int cmd_diff(int argc, char** argv) {
   RunOptions o;
   parse_run_options(argc, argv, 2, o);
+  if (!o.from_tlog.empty() || !o.save_tlog.empty())
+    throw cli::UsageError(
+        "diff records two runs; --from-tlog/--save-tlog apply to "
+        "critical-path only");
   const topology::Machine machine = topology::Machine::gpc(o.nodes);
   const mapping::Pattern pattern = parse_pattern(o.pattern);
   const simmpi::Communicator comm(
@@ -217,24 +257,27 @@ int cmd_compare(int argc, char** argv) {
   report::CompareOptions copts;
   report::RenderFormat format = report::RenderFormat::Text;
   for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--rel-tolerance"))
-      copts.rel_tolerance = std::atof(next());
-    else if (!std::strcmp(argv[i], "--abs-tolerance"))
-      copts.abs_tolerance = std::atof(next());
-    else if (!std::strcmp(argv[i], "--baseline-dir"))
+    if (a == "--rel-tolerance")
+      copts.rel_tolerance =
+          cli::parse_double(a, next(), 0.0, std::numeric_limits<double>::max());
+    else if (a == "--abs-tolerance")
+      copts.abs_tolerance =
+          cli::parse_double(a, next(), 0.0, std::numeric_limits<double>::max());
+    else if (a == "--baseline-dir")
       baseline_sel = next();
-    else if (!std::strcmp(argv[i], "--candidate-dir"))
+    else if (a == "--candidate-dir")
       candidate_sel = next();
-    else if (!std::strcmp(argv[i], "--markdown"))
+    else if (a == "--markdown")
       format = report::RenderFormat::Markdown;
-    else if (argv[i][0] == '-')
-      usage();
+    else if (a[0] == '-')
+      throw cli::UsageError("unknown option " + a);
     else
-      paths.emplace_back(argv[i]);
+      paths.emplace_back(a);
   }
   // Positional BASELINE CURRENT and the explicit flags are interchangeable;
   // the flags additionally accept `*`/`?` globs in the final path component
@@ -262,6 +305,9 @@ int main(int argc, char** argv) {
       return cmd_critical_path(argc, argv);
     if (!std::strcmp(argv[1], "diff")) return cmd_diff(argc, argv);
     if (!std::strcmp(argv[1], "compare")) return cmd_compare(argc, argv);
+    usage();
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-report: %s\n", e.what());
     usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "tarr-report: %s\n", e.what());

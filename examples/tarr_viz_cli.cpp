@@ -26,20 +26,34 @@
 //
 // Run options match tarr-report: --nodes N, --procs P, --layout L,
 // --pattern PAT, --mapper heuristic|scotch|greedy, --seed S, --msg BYTES.
-// `--out -` (the default) writes to stdout.
+// `--out -` (the default) writes to stdout; file outputs are probed for
+// writability before any simulation runs.
+//
+// Schedule-view subcommands (topo/matrix/timeline/dashboard) can stream
+// both recorded runs into `.tlog` traces (--save-tlog-baseline FILE,
+// --save-tlog FILE — see docs/TLOG.md) and can rebuild them from such
+// files instead of re-simulating (--from-tlog-baseline FILE, --from-tlog
+// FILE, both required together): with the same run options as at capture
+// time the page is byte-identical to the live render (CI cmp's it).
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
+#include "common/cli.hpp"
 #include "core/framework.hpp"
 #include "report/record.hpp"
 #include "report/snapshot.hpp"
 #include "simmpi/layout.hpp"
+#include "tlog/reader.hpp"
+#include "tlog/writer.hpp"
+#include "trace/tracer.hpp"
 #include "viz/dashboard.hpp"
 #include "viz/matrix.hpp"
 #include "viz/timeline.hpp"
@@ -60,6 +74,8 @@ using namespace tarr;
       "               --out FILE\n"
       "run options: --nodes N --procs P --layout L --pattern PAT\n"
       "             --mapper heuristic|scotch|greedy --seed S --msg BYTES\n"
+      "             --save-tlog-baseline F --save-tlog F\n"
+      "             --from-tlog-baseline F --from-tlog F\n"
       "--out - writes to stdout (the default)\n");
   std::exit(2);
 }
@@ -76,33 +92,47 @@ struct Options {
   std::vector<std::string> sets;    ///< trend/dashboard snapshot sets
   std::vector<std::string> labels;  ///< trend set labels (parallel to sets)
   report::CompareOptions copts;
+  std::string save_tlog_baseline;  ///< stream the baseline run to a .tlog
+  std::string save_tlog;           ///< stream the reordered run to a .tlog
+  std::string from_tlog_baseline;  ///< rebuild the baseline from a .tlog
+  std::string from_tlog;           ///< rebuild the reordered run from a .tlog
 };
 
 Options parse_options(int argc, char** argv, bool positional_sets) {
   Options o;
   for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--nodes")) o.nodes = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--procs")) o.procs = std::atoi(next());
-    else if (!std::strcmp(argv[i], "--layout")) o.layout = next();
-    else if (!std::strcmp(argv[i], "--pattern")) o.pattern = next();
-    else if (!std::strcmp(argv[i], "--mapper")) o.mapper = next();
-    else if (!std::strcmp(argv[i], "--seed"))
-      o.seed = std::strtoull(next(), nullptr, 10);
-    else if (!std::strcmp(argv[i], "--msg")) o.msg_bytes = std::atoll(next());
-    else if (!std::strcmp(argv[i], "--out")) o.out = next();
-    else if (!std::strcmp(argv[i], "--snapshots")) o.sets.push_back(next());
-    else if (!std::strcmp(argv[i], "--label")) o.labels.push_back(next());
-    else if (!std::strcmp(argv[i], "--rel-tolerance"))
-      o.copts.rel_tolerance = std::atof(next());
-    else if (!std::strcmp(argv[i], "--abs-tolerance"))
-      o.copts.abs_tolerance = std::atof(next());
-    else if (positional_sets && argv[i][0] != '-')
-      o.sets.push_back(argv[i]);
-    else usage();
+    if (a == "--nodes")
+      o.nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+    else if (a == "--procs")
+      o.procs = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 26));
+    else if (a == "--layout") o.layout = next();
+    else if (a == "--pattern") o.pattern = next();
+    else if (a == "--mapper") o.mapper = next();
+    else if (a == "--seed") o.seed = cli::parse_seed(a, next());
+    else if (a == "--msg")
+      o.msg_bytes = cli::parse_int(a, next(), 1,
+                                   std::numeric_limits<long long>::max());
+    else if (a == "--out") o.out = next();
+    else if (a == "--snapshots") o.sets.push_back(next());
+    else if (a == "--label") o.labels.push_back(next());
+    else if (a == "--rel-tolerance")
+      o.copts.rel_tolerance =
+          cli::parse_double(a, next(), 0.0, std::numeric_limits<double>::max());
+    else if (a == "--abs-tolerance")
+      o.copts.abs_tolerance =
+          cli::parse_double(a, next(), 0.0, std::numeric_limits<double>::max());
+    else if (a == "--save-tlog-baseline") o.save_tlog_baseline = next();
+    else if (a == "--save-tlog") o.save_tlog = next();
+    else if (a == "--from-tlog-baseline") o.from_tlog_baseline = next();
+    else if (a == "--from-tlog") o.from_tlog = next();
+    else if (positional_sets && a[0] != '-')
+      o.sets.push_back(a);
+    else throw cli::UsageError("unknown option " + a);
   }
   return o;
 }
@@ -151,15 +181,22 @@ void run_collective(simmpi::Engine& eng, mapping::Pattern pattern,
   }
 }
 
+/// `tlog_path`, when non-empty, streams the run into a `.tlog` alongside
+/// the recorder.
 report::ScheduleRecord record_run(const simmpi::Communicator& comm,
                                   mapping::Pattern pattern,
                                   const std::vector<Rank>& oldrank,
-                                  long long msg_bytes) {
+                                  long long msg_bytes,
+                                  const std::string& tlog_path = {}) {
   report::ScheduleRecorder recorder;
+  std::optional<tlog::TlogSink> tlog_sink;
+  if (!tlog_path.empty()) tlog_sink.emplace(tlog_path);
+  trace::TeeSink tee(&recorder, tlog_sink ? &*tlog_sink : nullptr);
   simmpi::Engine eng(comm, simmpi::CostConfig{}, simmpi::ExecMode::Timed,
                      msg_bytes, comm.size());
-  eng.set_trace_sink(&recorder);
+  eng.set_trace_sink(&tee);
   run_collective(eng, pattern, oldrank);
+  if (tlog_sink) tlog_sink->finish();
   return recorder.take();
 }
 
@@ -184,28 +221,43 @@ struct Runs {
 };
 
 Runs run_pair(const Options& o) {
+  const bool from_tlog = !o.from_tlog.empty() || !o.from_tlog_baseline.empty();
+  if (from_tlog && (o.from_tlog.empty() || o.from_tlog_baseline.empty()))
+    throw cli::UsageError(
+        "--from-tlog and --from-tlog-baseline must be given together");
+  if (from_tlog && (!o.save_tlog.empty() || !o.save_tlog_baseline.empty()))
+    throw cli::UsageError("--from-tlog* and --save-tlog* are exclusive");
+
   topology::Machine machine = topology::Machine::gpc(o.nodes);
   const mapping::Pattern pattern = parse_pattern(o.pattern);
   const simmpi::Communicator comm(
       machine, simmpi::make_layout(machine, o.procs, parse_layout(o.layout)));
-  core::ReorderFramework::Options fopts;
-  fopts.seed = o.seed;
-  core::ReorderFramework fw(machine, fopts);
-  const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
-
-  std::vector<Rank> identity(static_cast<std::size_t>(comm.size()));
-  std::iota(identity.begin(), identity.end(), 0);
-  // Records first: comm/rc reference `machine`, which moves into the result
-  // only once nothing borrows it anymore.
-  report::ScheduleRecord baseline =
-      record_run(comm, pattern, identity, o.msg_bytes);
-  report::ScheduleRecord candidate =
-      record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes);
+  // The subtitle is a pure function of the flags (and comm.size(), which the
+  // flags determine), so live and --from-tlog renders print identical bytes.
   std::string subtitle =
       o.pattern + " over " + std::to_string(comm.size()) + " ranks on " +
       std::to_string(o.nodes) + " nodes, " + o.layout + " layout vs " +
       o.mapper + " mapping, " + std::to_string(o.msg_bytes) +
       " B blocks (seed " + std::to_string(o.seed) + ")";
+
+  report::ScheduleRecord baseline, candidate;
+  if (from_tlog) {
+    baseline = tlog::read_record(o.from_tlog_baseline);
+    candidate = tlog::read_record(o.from_tlog);
+  } else {
+    core::ReorderFramework::Options fopts;
+    fopts.seed = o.seed;
+    core::ReorderFramework fw(machine, fopts);
+    const core::ReorderedComm rc = reorder(fw, comm, pattern, o.mapper);
+    std::vector<Rank> identity(static_cast<std::size_t>(comm.size()));
+    std::iota(identity.begin(), identity.end(), 0);
+    // Records first: comm/rc reference `machine`, which moves into the
+    // result only once nothing borrows it anymore.
+    baseline =
+        record_run(comm, pattern, identity, o.msg_bytes, o.save_tlog_baseline);
+    candidate =
+        record_run(rc.comm, pattern, rc.oldrank, o.msg_bytes, o.save_tlog);
+  }
   return Runs{std::move(machine), std::move(baseline), std::move(candidate),
               std::move(subtitle)};
 }
@@ -305,11 +357,16 @@ int main(int argc, char** argv) {
   try {
     const std::string cmd = argv[1];
     const Options o = parse_options(argc, argv, cmd == "trend");
+    // Fail fast on an unwritable output before any simulation runs.
+    if (o.out != "-") trace::Tracer::ensure_writable(o.out);
     if (cmd == "topo") return cmd_topo(o);
     if (cmd == "matrix") return cmd_matrix(o);
     if (cmd == "timeline") return cmd_timeline(o);
     if (cmd == "trend") return cmd_trend(o);
     if (cmd == "dashboard") return cmd_dashboard(o);
+    usage();
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarr-viz: %s\n", e.what());
     usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "tarr-viz: %s\n", e.what());

@@ -9,7 +9,7 @@
 //            ring|binomial-bcast|binomial-gather|bruck]
 //            [--mapper heuristic|scotch|greedy] [--seed S] [--quiet]
 //            [--msg BYTES] [--trace out.json] [--metrics out.csv]
-//            [--trace-wall] [--report] [--html out.html]
+//            [--tlog out.tlog] [--trace-wall] [--report] [--html out.html]
 //            [--prof out.csv] [--prof-speedscope out.json]
 //            [--prof-collapsed out.txt] [--prof-wall]
 //            [--insight out.txt] [--out-dir DIR]
@@ -21,7 +21,11 @@
 // a critical-path report of the just-traced run, and/or a self-contained
 // HTML dashboard — topology load, communication matrices, timelines and the
 // mapping-attribution diff of the baseline layout vs. the reordering (see
-// docs/OBSERVABILITY.md).  Output paths are probed for writability *before*
+// docs/OBSERVABILITY.md).  --tlog additionally streams every event of the
+// run — the framework's wall spans and counters included — into a compact
+// bounded-memory `.tlog` binary trace (docs/TLOG.md; query with tarr-log,
+// re-analyze with --from-tlog on tarr-report/tarr-viz/tarr-insight).
+// Output paths are probed for writability *before*
 // the reorder+simulation so a typo'd path fails in milliseconds, not after
 // the run.  Trace files and dashboards are byte-identical across same-seed
 // runs unless --trace-wall opts into real wall-clock durations for the
@@ -50,13 +54,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "collectives/allgather.hpp"
 #include "collectives/gather_bcast.hpp"
+#include "common/cli.hpp"
 #include "core/topoallgather.hpp"
+#include "tlog/writer.hpp"
 #include "insight/insight.hpp"
 #include "mapping/comparators.hpp"
 #include "mapping/mapcost.hpp"
@@ -77,6 +84,7 @@ using namespace tarr;
                "usage: %s [--nodes N] [--procs P] [--layout L] "
                "[--pattern PAT] [--mapper M] [--seed S] [--quiet] "
                "[--msg BYTES] [--trace out.json] [--metrics out.csv] "
+               "[--tlog out.tlog] "
                "[--trace-wall] [--report] [--html out.html] "
                "[--prof out.csv] [--prof-speedscope out.json] "
                "[--prof-collapsed out.txt] [--prof-wall] "
@@ -150,62 +158,65 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   bool quiet = false;
   long long msg_bytes = 16 * 1024;
-  std::string trace_path, metrics_path, html_path;
+  std::string trace_path, metrics_path, html_path, tlog_path;
   std::string prof_path, prof_speedscope_path, prof_collapsed_path;
   std::string insight_path, out_dir, report_path;
   bool trace_wall = false;
   bool prof_wall = false;
   bool report = false;
 
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (!std::strcmp(argv[i], "--nodes")) {
-      nodes = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--procs")) {
-      procs = std::atoi(next());
-    } else if (!std::strcmp(argv[i], "--layout")) {
-      layout_name = next();
-    } else if (!std::strcmp(argv[i], "--pattern")) {
-      pattern_name = next();
-    } else if (!std::strcmp(argv[i], "--mapper")) {
-      mapper_name = next();
-    } else if (!std::strcmp(argv[i], "--seed")) {
-      seed = std::strtoull(next(), nullptr, 10);
-    } else if (!std::strcmp(argv[i], "--quiet")) {
-      quiet = true;
-    } else if (!std::strcmp(argv[i], "--msg")) {
-      msg_bytes = std::atoll(next());
-    } else if (!std::strcmp(argv[i], "--trace")) {
-      trace_path = next();
-    } else if (!std::strcmp(argv[i], "--metrics")) {
-      metrics_path = next();
-    } else if (!std::strcmp(argv[i], "--trace-wall")) {
-      trace_wall = true;
-    } else if (!std::strcmp(argv[i], "--report")) {
-      report = true;
-    } else if (!std::strcmp(argv[i], "--html")) {
-      html_path = next();
-    } else if (!std::strcmp(argv[i], "--prof")) {
-      prof_path = next();
-    } else if (!std::strcmp(argv[i], "--prof-speedscope")) {
-      prof_speedscope_path = next();
-    } else if (!std::strcmp(argv[i], "--prof-collapsed")) {
-      prof_collapsed_path = next();
-    } else if (!std::strcmp(argv[i], "--prof-wall")) {
-      prof_wall = true;
-    } else if (!std::strcmp(argv[i], "--insight")) {
-      insight_path = next();
-    } else if (!std::strcmp(argv[i], "--out-dir")) {
-      out_dir = next();
-    } else {
-      usage(argv[0]);
-    }
-  }
-
   try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) throw cli::UsageError("missing value for " + a);
+        return argv[++i];
+      };
+      if (a == "--nodes") {
+        nodes = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 20));
+      } else if (a == "--procs") {
+        procs = static_cast<int>(cli::parse_int(a, next(), 1, 1 << 26));
+      } else if (a == "--layout") {
+        layout_name = next();
+      } else if (a == "--pattern") {
+        pattern_name = next();
+      } else if (a == "--mapper") {
+        mapper_name = next();
+      } else if (a == "--seed") {
+        seed = cli::parse_seed(a, next());
+      } else if (a == "--quiet") {
+        quiet = true;
+      } else if (a == "--msg") {
+        msg_bytes = cli::parse_int(a, next(), 1,
+                                   std::numeric_limits<long long>::max());
+      } else if (a == "--trace") {
+        trace_path = next();
+      } else if (a == "--metrics") {
+        metrics_path = next();
+      } else if (a == "--tlog") {
+        tlog_path = next();
+      } else if (a == "--trace-wall") {
+        trace_wall = true;
+      } else if (a == "--report") {
+        report = true;
+      } else if (a == "--html") {
+        html_path = next();
+      } else if (a == "--prof") {
+        prof_path = next();
+      } else if (a == "--prof-speedscope") {
+        prof_speedscope_path = next();
+      } else if (a == "--prof-collapsed") {
+        prof_collapsed_path = next();
+      } else if (a == "--prof-wall") {
+        prof_wall = true;
+      } else if (a == "--insight") {
+        insight_path = next();
+      } else if (a == "--out-dir") {
+        out_dir = next();
+      } else {
+        throw cli::UsageError("unknown option " + a);
+      }
+    }
     // --out-dir derives every artifact path from one flag; explicit
     // per-artifact flags override their derived path.
     if (!out_dir.empty()) {
@@ -213,6 +224,7 @@ int main(int argc, char** argv) {
       const std::string d = out_dir + "/";
       if (trace_path.empty()) trace_path = d + "trace.json";
       if (metrics_path.empty()) metrics_path = d + "metrics.csv";
+      if (tlog_path.empty()) tlog_path = d + "trace.tlog";
       if (html_path.empty()) html_path = d + "dashboard.html";
       if (prof_path.empty()) prof_path = d + "prof.csv";
       if (insight_path.empty()) insight_path = d + "insight.txt";
@@ -265,14 +277,20 @@ int main(int argc, char** argv) {
       trace::TracerOptions topts;
       topts.real_wall_time = trace_wall;
       tracer = std::make_unique<trace::Tracer>(topts);
-      framework.set_trace_sink(tracer.get());
     }
+    // --tlog streams the same events into the bounded-memory binary trace;
+    // its sink opens the file right here, so a bad path fails before the
+    // reorder below just like the probed paths above.
+    std::optional<tlog::TlogSink> tlog_sink;
+    if (!tlog_path.empty()) tlog_sink.emplace(tlog_path);
+    trace::TeeSink obs(tracer.get(), tlog_sink ? &*tlog_sink : nullptr);
+    if (tracer || tlog_sink) framework.set_trace_sink(&obs);
     // --report/--html record the run's schedule structure alongside (or
     // instead of) the tracer: --report prints a critical-path analysis,
     // --html renders the dashboard.
     const bool record = report || !html_path.empty() || !insight_path.empty();
     report::ScheduleRecorder recorder;
-    trace::TeeSink tee(tracer.get(), record ? &recorder : nullptr);
+    trace::TeeSink tee(&obs, record ? &recorder : nullptr);
 
     const core::ReorderedComm rc = [&] {
       if (mapper_name == "heuristic")
@@ -305,10 +323,10 @@ int main(int argc, char** argv) {
     std::printf("overhead: %.4f s mapping, %.4f s distance extraction\n",
                 rc.mapping_seconds, framework.distance_extraction_seconds());
 
-    if (tracer || record || profiling) {
+    if (tracer || record || profiling || tlog_sink) {
       simmpi::Engine eng(rc.comm, simmpi::CostConfig{},
                          simmpi::ExecMode::Timed, msg_bytes, rc.comm.size());
-      if (tracer || record) eng.set_trace_sink(&tee);
+      if (tracer || record || tlog_sink) eng.set_trace_sink(&tee);
       {
         prof::ProfScope pscope("simulate");
         run_traced_collective(eng, pattern, rc.oldrank);
@@ -326,6 +344,13 @@ int main(int argc, char** argv) {
         if (profiling) prof::publish(profiler.snapshot(), tracer->metrics());
         tracer->write_metrics(metrics_path);
         std::printf("metrics : %s\n", metrics_path.c_str());
+      }
+      if (tlog_sink) {
+        tlog_sink->finish();
+        std::printf("tlog    : %s (%llu bytes, %lld events)\n",
+                    tlog_path.c_str(),
+                    static_cast<unsigned long long>(tlog_sink->totals().bytes),
+                    tlog_sink->totals().stored_events());
       }
       if (report) {
         const auto path =
@@ -429,6 +454,9 @@ int main(int argc, char** argv) {
       if (rc.comm.size() % 4 != 0) std::printf("\n");
     }
     return 0;
+  } catch (const cli::UsageError& e) {
+    std::fprintf(stderr, "tarrmap: %s\n", e.what());
+    usage(argv[0]);
   } catch (const Error& e) {
     std::fprintf(stderr, "tarrmap: %s\n", e.what());
     return 1;

@@ -5,12 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "core/topoallgather.hpp"
 #include "report/snapshot.hpp"
 #include "simmpi/layout.hpp"
+#include "tlog/writer.hpp"
 #include "trace/tracer.hpp"
 
 /// \file fixtures.hpp
@@ -21,7 +23,9 @@
 /// Also the observability escape hatches for figure harnesses:
 ///   * SlowestConfigTrace, fed from the sweep loop, re-runs the slowest
 ///     measured configuration under a tarr::trace::Tracer when
-///     TARR_TRACE_OUT / TARR_TRACE_METRICS are set;
+///     TARR_TRACE_OUT / TARR_TRACE_METRICS are set, and/or under a
+///     streaming tarr::tlog::TlogSink when TARR_TRACE_TLOG names the
+///     output `.tlog` (inspect with tarr-log);
 ///   * SnapshotEmitter writes a schema-versioned BENCH_<name>.json of the
 ///     harness's headline metrics when TARR_BENCH_SNAPSHOT_DIR is set —
 ///     the input of the `tarr-report compare` perf gate;
@@ -128,19 +132,21 @@ struct BenchWorld {
 };
 
 /// Tracks the slowest configuration a figure harness measures and, on
-/// request, re-runs it with a Tracer attached so the timeline/metrics of the
-/// worst case can be inspected in Perfetto.  Inert (no closure kept, no
-/// re-run, no files) unless TARR_TRACE_OUT or TARR_TRACE_METRICS is set, so
+/// request, re-runs it with a Tracer (and/or a streaming TlogSink) attached
+/// so the timeline/metrics/.tlog of the worst case can be inspected in
+/// Perfetto or tarr-log.  Inert (no closure kept, no re-run, no files)
+/// unless TARR_TRACE_OUT, TARR_TRACE_METRICS or TARR_TRACE_TLOG is set, so
 /// harnesses can feed every measurement through note() unconditionally.
 class SlowestConfigTrace {
  public:
   /// Re-executes the configuration against `sink` and returns its latency.
   using Rerun = std::function<Usec(trace::TraceSink*)>;
 
-  /// True when either environment variable requests a dump.
+  /// True when any of the environment variables requests a dump.
   static bool enabled() {
     return std::getenv("TARR_TRACE_OUT") != nullptr ||
-           std::getenv("TARR_TRACE_METRICS") != nullptr;
+           std::getenv("TARR_TRACE_METRICS") != nullptr ||
+           std::getenv("TARR_TRACE_TLOG") != nullptr;
   }
 
   /// Record one measured configuration.
@@ -158,7 +164,20 @@ class SlowestConfigTrace {
   bool dump() const {
     if (!rerun_) return false;
     trace::Tracer tracer;
-    const Usec t = rerun_(&tracer);
+    tlog::TlogSink* tsink = nullptr;
+    std::optional<tlog::TlogSink> tlog_sink;
+    if (const char* path = std::getenv("TARR_TRACE_TLOG")) {
+      tlog_sink.emplace(path);
+      tsink = &*tlog_sink;
+    }
+    trace::TeeSink tee(&tracer, tsink);
+    const Usec t = rerun_(&tee);
+    if (tlog_sink) {
+      tlog_sink->finish();
+      std::fprintf(stderr, "tlog   : slowest config \"%s\" -> %s (%llu bytes)\n",
+                   label_.c_str(), tlog_sink->path().c_str(),
+                   static_cast<unsigned long long>(tlog_sink->totals().bytes));
+    }
     if (const char* path = std::getenv("TARR_TRACE_OUT")) {
       tracer.write_timeline(path);
       std::fprintf(stderr, "trace  : slowest config \"%s\" (%.1f us) -> %s\n",

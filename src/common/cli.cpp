@@ -1,0 +1,55 @@
+#include "common/cli.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace tarr::cli {
+
+namespace {
+
+/// strto* skip leading whitespace, which would quietly accept " 1" against
+/// the full-token contract; reject it up front.
+bool leading_space(const char* s) {
+  return std::isspace(static_cast<unsigned char>(s[0])) != 0;
+}
+
+}  // namespace
+
+long long parse_int(const std::string& opt, const char* s, long long lo,
+                    long long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (leading_space(s) || errno != 0 || end == s || *end != '\0')
+    throw UsageError(opt + ": '" + s + "' is not an integer");
+  if (v < lo || v > hi)
+    throw UsageError(opt + ": " + s + " is out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  return v;
+}
+
+double parse_double(const std::string& opt, const char* s, double lo,
+                    double hi) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (leading_space(s) || errno != 0 || end == s || *end != '\0' ||
+      std::isnan(v))
+    throw UsageError(opt + ": '" + s + "' is not a number");
+  if (v < lo || v > hi)
+    throw UsageError(opt + ": " + s + " is out of range");
+  return v;
+}
+
+std::uint64_t parse_seed(const std::string& opt, const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (leading_space(s) || errno != 0 || end == s || *end != '\0' || *s == '-')
+    throw UsageError(opt + ": '" + s + "' is not a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace tarr::cli

@@ -422,6 +422,84 @@ TEST(Trace, TopoAllgatherForwardsItsSink) {
   EXPECT_EQ(t, untraced.latency(16 * 1024));
 }
 
+// ---------------------------------------------------------------------------
+// TraceSink contract: default handlers are no-ops, TeeSink fans out in order.
+
+/// Appends one token per received event to a shared journal, so tests can
+/// assert exact fan-out ordering across two sinks.
+class JournalSink final : public TraceSink {
+ public:
+  JournalSink(std::string tag, std::vector<std::string>* journal)
+      : tag_(std::move(tag)), journal_(journal) {}
+
+  void on_stage(const StageEvent&) override { note("stage"); }
+  void on_transfer(const TransferEvent&) override { note("transfer"); }
+  void on_copy(const CopyEvent&) override { note("copy"); }
+  void on_permute(const PermuteEvent&) override { note("permute"); }
+  void on_phase(const PhaseEvent&) override { note("phase"); }
+  void on_counter(const CounterSample&) override { note("counter"); }
+  void on_wall_span(const WallSpan&) override { note("wall"); }
+  void on_time(const TimeEvent&) override { note("time"); }
+  void add_count(const std::string&, double) override { note("count"); }
+  void observe(const std::string&, double) override { note("observe"); }
+
+ private:
+  void note(const char* what) { journal_->push_back(tag_ + ":" + what); }
+  std::string tag_;
+  std::vector<std::string>* journal_;
+};
+
+/// Drives all ten TraceSink entry points exactly once.
+void emit_one_of_each(TraceSink& sink) {
+  sink.on_stage(StageEvent{});
+  sink.on_transfer(TransferEvent{});
+  sink.on_copy(CopyEvent{});
+  sink.on_permute(PermuteEvent{});
+  sink.on_phase(PhaseEvent{});
+  sink.on_counter(CounterSample{});
+  sink.on_wall_span(WallSpan{});
+  sink.on_time(TimeEvent{});
+  sink.add_count("n", 1.0);
+  sink.observe("n", 1.0);
+}
+
+TEST(Trace, DefaultSinkHandlersAreNoOps) {
+  // A sink overriding nothing must accept every event kind without effect —
+  // the contract that lets concrete sinks implement only what they consume.
+  class MinimalSink final : public TraceSink {};
+  MinimalSink minimal;
+  emit_one_of_each(minimal);
+  NullSink null_sink;
+  emit_one_of_each(null_sink);  // same contract, the named variant
+}
+
+TEST(Trace, TeeSinkForwardsEveryKindFirstThenSecond) {
+  std::vector<std::string> journal;
+  JournalSink first("a", &journal), second("b", &journal);
+  TeeSink tee(&first, &second);
+  emit_one_of_each(tee);
+  const std::vector<std::string> expected = {
+      "a:stage",   "b:stage",   "a:transfer", "b:transfer", "a:copy",
+      "b:copy",    "a:permute", "b:permute",  "a:phase",    "b:phase",
+      "a:counter", "b:counter", "a:wall",     "b:wall",     "a:time",
+      "b:time",    "a:count",   "b:count",    "a:observe",  "b:observe"};
+  EXPECT_EQ(journal, expected);
+}
+
+TEST(Trace, TeeSinkToleratesNullLegs) {
+  std::vector<std::string> journal;
+  JournalSink only("x", &journal);
+  TeeSink first_null(nullptr, &only);
+  emit_one_of_each(first_null);
+  EXPECT_EQ(journal.size(), 10u);
+  journal.clear();
+  TeeSink second_null(&only, nullptr);
+  emit_one_of_each(second_null);
+  EXPECT_EQ(journal.size(), 10u);
+  TeeSink both_null(nullptr, nullptr);
+  emit_one_of_each(both_null);  // must not crash
+}
+
 TEST(Trace, StageRepeatCompressionScalesMetrics) {
   const Machine m = Machine::gpc(1);
   const Communicator comm(m, make_layout(m, 4, {}));
